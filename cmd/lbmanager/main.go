@@ -1,0 +1,38 @@
+// Command lbmanager runs a standalone centralized load-index manager,
+// the §4 IDEAL emulation, for use with lbclient -policy ideal. It
+// prints its address on stdout and serves until interrupted.
+//
+// Usage:
+//
+//	lbmanager -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"finelb/internal/cluster"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of servers the manager tracks (must match the node count and ordering)")
+	seed := flag.Uint64("seed", 1, "random seed for tie-breaking")
+	flag.Parse()
+
+	m, err := cluster.StartIdealManager(*n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbmanager:", err)
+		os.Exit(1)
+	}
+	fmt.Println(m.Addr())
+	fmt.Fprintf(os.Stderr, "lbmanager: tracking %d servers; Ctrl-C to stop\n", *n)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(os.Stderr, "lbmanager: final counts %v\n", m.Counts())
+	m.Close()
+}

@@ -1,0 +1,82 @@
+// Command lbnode runs standalone prototype server nodes and prints
+// their access/load addresses, one pair per line, so lbclient (or any
+// other process) can drive them. It serves until interrupted.
+//
+// Usage:
+//
+//	lbnode [-n 4] [-service translate] [-workers 1] [-spin]
+//	       [-slowprob 0.15] [-seed 1]
+//
+// Output format (stdout), one line per node:
+//
+//	<id> <access tcp addr> <load udp addr>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"finelb/internal/cluster"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of server nodes to run in this process")
+	service := flag.String("service", "translate", "service name to host")
+	workers := flag.Int("workers", 1, "worker pool size per node")
+	spin := flag.Bool("spin", false, "burn CPU for service time instead of sleeping")
+	slowProb := flag.Float64("slowprob", cluster.DefaultSlowProb, "busy-node slow-answer probability (negative disables)")
+	dirAddr := flag.String("dir", "", "lbdir address to publish soft state to (optional)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "lbnode: -n must be positive")
+		os.Exit(2)
+	}
+
+	var remote *cluster.RemoteDirectory
+	if *dirAddr != "" {
+		var err error
+		remote, err = cluster.DialDirectory(*dirAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbnode:", err)
+			os.Exit(1)
+		}
+		defer remote.Close()
+	}
+
+	nodes := make([]*cluster.Node, 0, *n)
+	for i := 0; i < *n; i++ {
+		node, err := cluster.StartNode(cluster.NodeConfig{
+			ID:        i,
+			Service:   *service,
+			Workers:   *workers,
+			Spin:      *spin,
+			SlowProb:  *slowProb,
+			RemoteDir: remote,
+			Seed:      *seed + uint64(i)*7919,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbnode:", err)
+			os.Exit(1)
+		}
+		nodes = append(nodes, node)
+		fmt.Printf("%d %s %s\n", i, node.AccessAddr(), node.LoadAddr())
+	}
+	fmt.Fprintf(os.Stderr, "lbnode: %d node(s) serving %q; Ctrl-C to stop\n", *n, *service)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, node := range nodes {
+		node.Close()
+	}
+	for i, node := range nodes {
+		st := node.Stats()
+		fmt.Fprintf(os.Stderr, "node %d: served=%d overloads=%d inquiries=%d slow=%d\n",
+			i, st.Served, st.Overloads, st.Inquiries, st.SlowPaths)
+	}
+}

@@ -1,0 +1,138 @@
+// Command lbtrace generates, inspects, and rescales workload trace
+// files in the repository's text trace format (one "arrival_us
+// service_us" pair per line). It is the tooling around Table 1: the
+// synthetic Teoma-like traces can be materialized once and replayed.
+//
+// Usage:
+//
+//	lbtrace gen   -workload fine -n 100000 -seed 1 -out fine.trace
+//	lbtrace stats -in fine.trace
+//	lbtrace scale -in fine.trace -factor 0.5 -out fine-2x-load.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finelb/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "scale":
+		cmdScale(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lbtrace gen   -workload poisson|medium|fine [-n N] [-seed S] -out FILE
+  lbtrace stats -in FILE
+  lbtrace scale -in FILE -factor F -out FILE`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	wname := fs.String("workload", "fine", "poisson, medium, or fine")
+	n := fs.Int("n", 100000, "accesses to generate")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (- for stdout)")
+	_ = fs.Parse(args)
+
+	var w workload.Workload
+	switch *wname {
+	case "poisson":
+		w = workload.PoissonExp(workload.PoissonExpServiceMean)
+	case "medium":
+		w = workload.MediumGrain()
+	case "fine":
+		w = workload.FineGrain()
+	default:
+		fmt.Fprintf(os.Stderr, "lbtrace: unknown workload %q\n", *wname)
+		os.Exit(2)
+	}
+	tr := w.Generate(*n, *seed)
+	writeTrace(tr, *out)
+	fmt.Fprintf(os.Stderr, "lbtrace: wrote %d accesses: %v\n", len(tr), tr.Stats())
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file")
+	_ = fs.Parse(args)
+	tr := readTrace(*in)
+	st := tr.Stats()
+	fmt.Printf("accesses       %d\n", st.Count)
+	fmt.Printf("arrival mean   %.4g ms\n", st.ArrivalMean*1e3)
+	fmt.Printf("arrival std    %.4g ms\n", st.ArrivalStd*1e3)
+	fmt.Printf("service mean   %.4g ms\n", st.ServiceMean*1e3)
+	fmt.Printf("service std    %.4g ms\n", st.ServiceStd*1e3)
+	if st.ArrivalMean > 0 {
+		fmt.Printf("offered load   %.4g per server-second per server\n", st.ServiceMean/st.ArrivalMean)
+	}
+}
+
+func cmdScale(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file")
+	factor := fs.Float64("factor", 1, "multiply every inter-arrival interval by this")
+	out := fs.String("out", "", "output file (- for stdout)")
+	_ = fs.Parse(args)
+	if *factor <= 0 {
+		fmt.Fprintln(os.Stderr, "lbtrace: -factor must be positive")
+		os.Exit(2)
+	}
+	tr := readTrace(*in).ScaleArrivals(*factor)
+	writeTrace(tr, *out)
+	fmt.Fprintf(os.Stderr, "lbtrace: wrote %d accesses: %v\n", len(tr), tr.Stats())
+}
+
+func readTrace(path string) workload.Trace {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "lbtrace: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := workload.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+func writeTrace(tr workload.Trace, path string) {
+	w := os.Stdout
+	if path != "-" && path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	} else if path == "" {
+		fmt.Fprintln(os.Stderr, "lbtrace: -out is required")
+		os.Exit(2)
+	}
+	if err := tr.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(1)
+	}
+}

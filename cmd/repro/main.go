@@ -1,0 +1,85 @@
+// Command repro regenerates the paper's tables and figures (and this
+// repository's ablations). Each experiment id corresponds to one
+// artifact; see DESIGN.md §3 for the index.
+//
+// Usage:
+//
+//	repro [-quick] [-seed N] [-v] <experiment>... | all | list
+//
+// Examples:
+//
+//	repro list
+//	repro -quick figure4
+//	repro table1 figure2 upperbound
+//	repro all                 # full-fidelity run (several minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"finelb/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced run lengths (~1 minute for the whole suite)")
+	seed := flag.Uint64("seed", 1, "random seed for all experiment streams")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [-quick] [-seed N] [-v] <experiment>... | all | list\n\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", id, experiments.Describe(id))
+		}
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 {
+		switch ids[0] {
+		case "list":
+			for _, id := range experiments.IDs() {
+				fmt.Printf("%-14s %s\n", id, experiments.Describe(id))
+			}
+			return
+		case "all":
+			ids = experiments.IDs()
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	for _, id := range ids {
+		run, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

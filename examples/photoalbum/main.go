@@ -1,0 +1,145 @@
+// Photo-album scenario: the partitioned, aggregated service cluster of
+// the paper's Figure 1.
+//
+// The cluster hosts two services:
+//
+//   - "album": the photo-album front service, fully replicated on
+//     every node;
+//   - "imagestore": the internal image store, partitioned into two
+//     partition groups (partitions 0-9 and 10-19), each group
+//     replicated on half the nodes.
+//
+// Fetching one album page aggregates three internal accesses: one
+// album lookup plus one image fetch from each partition group. Every
+// internal access is load-balanced independently with the random
+// polling policy, exactly the flat client/server architecture of §3.1:
+// any node may act as client and server.
+//
+// Run with:
+//
+//	go run ./examples/photoalbum
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"finelb"
+	"finelb/internal/stats"
+)
+
+const (
+	albumNodes = 4
+	storeNodes = 4 // two per partition group
+	pages      = 400
+)
+
+func main() {
+	dir := finelb.NewDirectory(0)
+	var nodes []*finelb.Node
+	start := func(cfg finelb.NodeConfig) {
+		cfg.Directory = dir
+		n, err := finelb.StartNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	// Album service: replicated everywhere, no partitions.
+	for i := 0; i < albumNodes; i++ {
+		start(finelb.NodeConfig{ID: i, Service: "album", Seed: uint64(i)})
+	}
+	// Image store: partition group A (0-9) and group B (10-19).
+	groupA := []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	groupB := []uint32{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	for i := 0; i < storeNodes; i++ {
+		parts := groupA
+		if i >= storeNodes/2 {
+			parts = groupB
+		}
+		start(finelb.NodeConfig{
+			ID: albumNodes + i, Service: "imagestore", Partitions: parts,
+			Seed: uint64(100 + i),
+		})
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// One balanced client per (service, partition group), as a gateway
+	// node would hold.
+	policy := finelb.NewPollDiscard(2, finelb.DiscardThreshold)
+	album := mustClient(dir, "album", 0, policy, 1)
+	storeA := mustClient(dir, "imagestore", 3, policy, 2)  // partition 3 lives in group A
+	storeB := mustClient(dir, "imagestore", 12, policy, 3) // partition 12 lives in group B
+	defer album.Close()
+	defer storeA.Close()
+	defer storeB.Close()
+
+	// Verify the availability subsystem partitioned correctly.
+	fmt.Printf("album replicas: %d, group-A replicas: %d, group-B replicas: %d\n",
+		len(album.Endpoints()), len(storeA.Endpoints()), len(storeB.Endpoints()))
+
+	rng := stats.NewRNG(5)
+	lat := stats.NewSummary(true)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := 0
+	for i := 0; i < pages; i++ {
+		time.Sleep(time.Duration(4e6 * rng.ExpFloat64())) // ~250 pages/s offered
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			// Aggregate: album metadata + one image from each group, the
+			// two image fetches in parallel.
+			if _, err := album.Access(uint32(1000*rng.ExpFloat64()), nil); err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			var iwg sync.WaitGroup
+			var ierr bool
+			for _, c := range []*finelb.Client{storeA, storeB} {
+				c := c
+				iwg.Add(1)
+				go func() {
+					defer iwg.Done()
+					if _, err := c.Access(uint32(2500*rng.ExpFloat64()), nil); err != nil {
+						ierr = true
+					}
+				}()
+			}
+			iwg.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			if ierr {
+				errs++
+				return
+			}
+			lat.Add(time.Since(t0).Seconds())
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("album pages  %d ok, %d errors\n", lat.N(), errs)
+	fmt.Printf("page latency mean %.3f ms   p95 %.3f ms   p99 %.3f ms\n",
+		lat.Mean()*1e3, lat.Percentile(0.95)*1e3, lat.Percentile(0.99)*1e3)
+	fmt.Println("\nEach page aggregated three independently load-balanced internal")
+	fmt.Println("accesses across a partitioned, replicated service cluster (Figure 1).")
+}
+
+func mustClient(dir *finelb.Directory, service string, partition uint32, p finelb.Policy, seed uint64) *finelb.Client {
+	c, err := finelb.NewClient(finelb.ClientConfig{
+		Directory: dir, Service: service, Partition: partition, Policy: p, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,144 @@
+// Package finelb is a Go reproduction of "Cluster Load Balancing for
+// Fine-Grain Network Services" (Shen, Yang, Chu; IPPS/IPDPS 2002): the
+// random-polling (power-of-d-choices) load-balancing policy family for
+// services inside a cluster, together with the broadcast, random,
+// round-robin, and IDEAL baselines, a discrete-event simulator, a
+// real-socket Neptune-lite prototype, and drivers that regenerate every
+// table and figure of the paper's evaluation.
+//
+// This file is the public facade: it re-exports the pieces a downstream
+// user composes, while implementations live under internal/.
+//
+// # Quick start
+//
+// Simulate the paper's headline configuration — 16 servers at 90% load,
+// fine-grain services, poll size 2:
+//
+//	w := finelb.FineGrain().ScaledTo(16, 0.9)
+//	res, err := finelb.Simulate(finelb.SimConfig{
+//		Servers: 16, Workload: w, Policy: finelb.NewPoll(2),
+//	})
+//	fmt.Println(res.MeanResponse())
+//
+// Or run the same cell on the real-socket prototype:
+//
+//	res, err := finelb.RunPrototype(finelb.PrototypeConfig{
+//		Servers: 16, Workload: w, Policy: finelb.NewPoll(2),
+//	})
+//
+// See examples/ for complete programs and cmd/repro for the experiment
+// suite.
+package finelb
+
+import (
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+	"finelb/internal/simcluster"
+	"finelb/internal/workload"
+)
+
+// Policy is a load-balancing policy specification (random, round-robin,
+// random polling with optional slow-poll discard, broadcast, or IDEAL).
+type Policy = core.Policy
+
+// Policy constructors.
+var (
+	// NewRandom returns the uniform random policy.
+	NewRandom = core.NewRandom
+	// NewRoundRobin returns the per-client round-robin policy.
+	NewRoundRobin = core.NewRoundRobin
+	// NewPoll returns the paper's random polling policy with poll size d.
+	NewPoll = core.NewPoll
+	// NewPollDiscard returns random polling with the slow-poll discard
+	// optimization of §3.2.
+	NewPollDiscard = core.NewPollDiscard
+	// NewBroadcast returns the broadcast (server push) policy.
+	NewBroadcast = core.NewBroadcast
+	// NewIdeal returns the omniscient IDEAL reference policy.
+	NewIdeal = core.NewIdeal
+)
+
+// Workload couples an inter-arrival distribution with a service-time
+// distribution; scale it to a cluster size and load with ScaledTo.
+type Workload = workload.Workload
+
+// The paper's three evaluation workloads.
+var (
+	// PoissonExp returns the synthetic Poisson/Exp workload.
+	PoissonExp = workload.PoissonExp
+	// MediumGrain returns the Medium-Grain Teoma-like trace workload
+	// (mean service 28.9 ms).
+	MediumGrain = workload.MediumGrain
+	// FineGrain returns the Fine-Grain Teoma-like trace workload
+	// (mean service 2.22 ms).
+	FineGrain = workload.FineGrain
+	// PaperWorkloads returns all three in the paper's order.
+	PaperWorkloads = workload.Paper
+)
+
+// Trace is a materialized access sequence with Table 1 statistics and
+// file IO.
+type Trace = workload.Trace
+
+// ReadTrace parses a trace file written by Trace.Write.
+var ReadTrace = workload.ReadTrace
+
+// SimConfig configures a discrete-event simulation run (Figures 2-4).
+type SimConfig = simcluster.Config
+
+// SimResult is a simulation run's measurements.
+type SimResult = simcluster.Result
+
+// Simulate executes one simulated cluster experiment.
+func Simulate(cfg SimConfig) (*SimResult, error) { return simcluster.Run(cfg) }
+
+// PrototypeConfig configures a real-socket prototype run (Figure 6,
+// Table 2).
+type PrototypeConfig = cluster.ExperimentConfig
+
+// PrototypeResult is a prototype run's measurements.
+type PrototypeResult = cluster.ExperimentResult
+
+// RunPrototype boots an in-process cluster over real UDP/TCP sockets
+// and replays the workload against it.
+func RunPrototype(cfg PrototypeConfig) (*PrototypeResult, error) {
+	return cluster.RunExperiment(cfg)
+}
+
+// Cluster pieces for programs that want to compose a service cluster
+// directly rather than run a canned experiment (see examples/).
+type (
+	// Directory is the soft-state service availability subsystem.
+	Directory = cluster.Directory
+	// Node is a prototype server node.
+	Node = cluster.Node
+	// NodeConfig configures a Node.
+	NodeConfig = cluster.NodeConfig
+	// Client is a prototype client node with the polling agent.
+	Client = cluster.Client
+	// ClientConfig configures a Client.
+	ClientConfig = cluster.ClientConfig
+	// Endpoint is one published service instance.
+	Endpoint = cluster.Endpoint
+	// IdealManager is the centralized load-index manager emulating IDEAL.
+	IdealManager = cluster.IdealManager
+)
+
+// Cluster construction helpers.
+var (
+	// NewDirectory returns a soft-state directory with the given TTL
+	// (0 = default).
+	NewDirectory = cluster.NewDirectory
+	// StartNode boots a server node on loopback addresses.
+	StartNode = cluster.StartNode
+	// NewClient builds a client node.
+	NewClient = cluster.NewClient
+	// StartIdealManager boots a centralized load-index manager.
+	StartIdealManager = cluster.StartIdealManager
+)
+
+// DiscardThreshold is the §3.2 slow-poll discard threshold used by the
+// paper's Table 2 (10 ms; see DESIGN.md for the OCR restoration).
+const DiscardThreshold = 10 * time.Millisecond

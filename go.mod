@@ -1,0 +1,3 @@
+module finelb
+
+go 1.22

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"finelb/internal/core"
+	"finelb/internal/stats"
+	"finelb/internal/workload"
+)
+
+// CalibrationConfig parameterizes the paper's §4 empirical load
+// calibration: "for each workload on a single-server setting, we
+// consider the server reach full load (100%) when around 98% of client
+// requests were successfully completed within two seconds".
+type CalibrationConfig struct {
+	Workload workload.Workload
+	// TargetFrac is the completion fraction defining full load
+	// (default 0.98).
+	TargetFrac float64
+	// Within is the completion deadline (default 2 s).
+	Within time.Duration
+	// Burst is how long each probe run generates load (default 3 s).
+	Burst time.Duration
+	// Iterations bounds the bisection (default 5).
+	Iterations int
+	// Node knobs.
+	Workers int
+	Spin    bool
+	Seed    uint64
+}
+
+// CalibrationResult reports the calibrated full-load point.
+type CalibrationResult struct {
+	// Rate is the calibrated 100%-load request rate (accesses/second)
+	// for one server.
+	Rate float64
+	// Multiplier is Rate relative to the analytic service rate
+	// 1/E[S]; 1.0 means the emulation matches theory exactly.
+	Multiplier float64
+	// Probes records (multiplier, fraction-within-deadline) pairs.
+	Probes [][2]float64
+}
+
+// CalibrateFullLoad bisects the single-server arrival-rate multiplier
+// until the completion criterion sits at the target, and returns the
+// calibrated full-load rate. Because the sleep-based service emulation
+// is self-correcting (see sleeper), the multiplier lands near 1.0; the
+// function exists to *verify* that, and to support spin-based or
+// multi-worker nodes where theory is not exact.
+func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
+	if cfg.Workload.Service == nil || cfg.Workload.Arrival == nil {
+		return nil, fmt.Errorf("cluster: calibration needs a workload")
+	}
+	if cfg.TargetFrac == 0 {
+		cfg.TargetFrac = 0.98
+	}
+	if cfg.TargetFrac <= 0 || cfg.TargetFrac >= 1 {
+		return nil, fmt.Errorf("cluster: TargetFrac = %v", cfg.TargetFrac)
+	}
+	if cfg.Within == 0 {
+		cfg.Within = 2 * time.Second
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 3 * time.Second
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 5
+	}
+
+	analyticRate := 1 / cfg.Workload.Service.Mean()
+	res := &CalibrationResult{}
+
+	probe := func(mult float64) (float64, error) {
+		node, err := StartNode(NodeConfig{
+			ID: 0, Service: "cal", Workers: cfg.Workers, Spin: cfg.Spin,
+			SlowProb: -1, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer node.Close()
+		client, err := NewClient(ClientConfig{
+			Service: "cal", Policy: core.NewRandom(),
+			StaticEndpoints: []Endpoint{node.Endpoint()},
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer client.Close()
+
+		rng := stats.NewRNG(cfg.Seed + 99)
+		svcRNG := stats.NewRNG(cfg.Seed + 100)
+		meanGap := time.Duration(float64(time.Second) / (analyticRate * mult))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		okWithin, total := 0, 0
+		end := time.Now().Add(cfg.Burst)
+		next := time.Now()
+		for time.Now().Before(end) {
+			next = next.Add(time.Duration(float64(meanGap) * rng.ExpFloat64()))
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			arrival := next
+			svcUs := uint32(cfg.Workload.Service.Sample(svcRNG) * 1e6)
+			total++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := client.Access(svcUs, nil)
+				elapsed := time.Since(arrival)
+				if err == nil && elapsed <= cfg.Within {
+					mu.Lock()
+					okWithin++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if total == 0 {
+			return 0, fmt.Errorf("cluster: calibration burst generated no accesses")
+		}
+		return float64(okWithin) / float64(total), nil
+	}
+
+	lo, hi := 0.5, 1.5
+	mult := 1.0
+	for i := 0; i < cfg.Iterations; i++ {
+		frac, err := probe(mult)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes = append(res.Probes, [2]float64{mult, frac})
+		if frac >= cfg.TargetFrac {
+			lo = mult // can push harder
+		} else {
+			hi = mult // overloaded
+		}
+		mult = (lo + hi) / 2
+	}
+	res.Multiplier = lo
+	res.Rate = analyticRate * lo
+	return res, nil
+}

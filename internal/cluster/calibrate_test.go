@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"finelb/internal/workload"
+)
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := CalibrateFullLoad(CalibrationConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := CalibrateFullLoad(CalibrationConfig{
+		Workload:   workload.PoissonExp(1e-3),
+		TargetFrac: 1.5,
+	}); err == nil {
+		t.Fatal("bad TargetFrac accepted")
+	}
+}
+
+func TestCalibrateFullLoadNearAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs multi-second bursts")
+	}
+	// With the self-correcting sleeper, the calibrated full-load point
+	// must land near the analytic service rate (multiplier ~1).
+	res, err := CalibrateFullLoad(CalibrationConfig{
+		Workload:   workload.PoissonExp(2e-3),
+		TargetFrac: 0.95,
+		Within:     300 * time.Millisecond,
+		Burst:      700 * time.Millisecond,
+		Iterations: 4,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 4 {
+		t.Fatalf("probes: %v", res.Probes)
+	}
+	if res.Multiplier < 0.6 || res.Multiplier > 1.4 {
+		t.Fatalf("calibrated multiplier %v far from 1", res.Multiplier)
+	}
+	analytic := 1 / 2e-3
+	if res.Rate < analytic*0.6 || res.Rate > analytic*1.4 {
+		t.Fatalf("calibrated rate %v vs analytic %v", res.Rate, analytic)
+	}
+}

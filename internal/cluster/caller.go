@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Caller issues service requests to explicit endpoints, bypassing load
+// balancing. It is the building block for layers that must talk to a
+// *specific* replica — the Neptune replication layer uses it for write
+// fan-out, primary forwarding, and recovery pulls.
+//
+// Caller is safe for concurrent use; each in-flight call holds its own
+// pooled connection.
+type Caller struct {
+	timeout time.Duration
+
+	mu     sync.Mutex
+	pools  map[string]*connPool
+	closed bool
+
+	reqID atomic.Uint64
+}
+
+// NewCaller returns a caller whose calls time out after the given
+// duration (default 10 s when zero).
+func NewCaller(timeout time.Duration) *Caller {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return &Caller{timeout: timeout, pools: make(map[string]*connPool)}
+}
+
+func (c *Caller) pool(addr string) (*connPool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("cluster: caller closed")
+	}
+	if p, ok := c.pools[addr]; ok {
+		return p, nil
+	}
+	p := newConnPool(addr)
+	c.pools[addr] = p
+	return p, nil
+}
+
+// Call sends one request to the endpoint's access address and returns
+// the response.
+func (c *Caller) Call(ep Endpoint, service string, partition uint32, serviceUs uint32, payload []byte) (*Response, error) {
+	p, err := c.pool(ep.AccessAddr)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{
+		ID:        c.reqID.Add(1),
+		Service:   service,
+		Partition: partition,
+		ServiceUs: serviceUs,
+		Payload:   payload,
+	}
+	return p.roundTrip(req, c.timeout)
+}
+
+// Close releases every pooled connection.
+func (c *Caller) Close() {
+	c.mu.Lock()
+	pools := c.pools
+	c.pools = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.closeAll()
+	}
+}

@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finelb/internal/core"
+	"finelb/internal/stats"
+)
+
+// ClientConfig configures a client node.
+type ClientConfig struct {
+	ID        int
+	Directory *Directory
+	Service   string
+	Partition uint32
+	Policy    core.Policy
+
+	// RemoteDir, when non-nil, refreshes the mapping table from a
+	// DirServer in another process instead of an in-process Directory.
+	RemoteDir *RemoteDirectory
+
+	// StaticEndpoints, when no directory of either kind is set, fixes
+	// the mapping table (no refresh, no soft-state expiry). Used by the
+	// standalone CLI tools when run without a directory server.
+	StaticEndpoints []Endpoint
+
+	// ManagerAddr is the IdealManager address (required for the Ideal
+	// policy, ignored otherwise).
+	ManagerAddr string
+
+	// RefreshInterval is how often the service mapping table is
+	// refreshed from the directory (default 250 ms).
+	RefreshInterval time.Duration
+
+	// PollTimeout caps the wait for poll answers when no discard
+	// threshold is configured (default 1 s); a lost datagram must not
+	// hang an access forever.
+	PollTimeout time.Duration
+
+	// AccessTimeout bounds one service round trip (default 10 s).
+	AccessTimeout time.Duration
+
+	Seed uint64
+}
+
+// AccessInfo reports the measured details of one service access.
+type AccessInfo struct {
+	Server    int           // NodeID that served the access
+	Resp      *Response     // server reply
+	PollTime  time.Duration // time spent acquiring load information
+	Polled    int           // inquiries sent
+	Answered  int           // inquiries answered in time
+	Discarded int           // inquiries abandoned at the deadline
+	PollRTTs  []time.Duration
+}
+
+// Client is a client node: it maintains a service mapping table from
+// the availability subsystem and runs the load-balancing subsystem
+// (polling agent or baseline policies) in front of the service access
+// point (Figure 5).
+type Client struct {
+	cfg ClientConfig
+
+	mu          sync.Mutex
+	rng         *stats.RNG
+	rr          core.RoundRobinState
+	endpoints   []Endpoint
+	agents      map[string]*pollAgent // by load address
+	pools       map[string]*connPool  // by access address
+	outstanding map[int]int           // this client's in-flight accesses by NodeID (LocalLeast)
+
+	mgr *managerClient
+
+	seq    atomic.Uint32
+	reqID  atomic.Uint64
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+	closed atomic.Bool
+}
+
+// NewClient builds a client node and performs an initial mapping-table
+// refresh.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Directory == nil && cfg.RemoteDir == nil && len(cfg.StaticEndpoints) == 0 {
+		return nil, fmt.Errorf("cluster: client needs a directory, a remote directory, or static endpoints")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy.Kind == core.Broadcast {
+		return nil, fmt.Errorf("cluster: the prototype does not implement the broadcast policy (the paper's didn't either, §3)")
+	}
+	if cfg.Policy.Kind == core.Ideal && cfg.ManagerAddr == "" {
+		return nil, fmt.Errorf("cluster: Ideal policy needs ManagerAddr")
+	}
+	if cfg.RefreshInterval == 0 {
+		cfg.RefreshInterval = 250 * time.Millisecond
+	}
+	if cfg.PollTimeout == 0 {
+		cfg.PollTimeout = time.Second
+	}
+	if cfg.AccessTimeout == 0 {
+		cfg.AccessTimeout = 10 * time.Second
+	}
+	c := &Client{
+		cfg:         cfg,
+		rng:         stats.NewRNG(cfg.Seed ^ 0xc1e9a7b3d5f01234),
+		agents:      make(map[string]*pollAgent),
+		pools:       make(map[string]*connPool),
+		outstanding: make(map[int]int),
+		done:        make(chan struct{}),
+	}
+	if cfg.Policy.Kind == core.Ideal {
+		c.mgr = newManagerClient(cfg.ManagerAddr)
+	}
+	c.Refresh()
+	if cfg.Directory != nil || cfg.RemoteDir != nil {
+		c.wg.Add(1)
+		go c.refreshLoop()
+	}
+	return c, nil
+}
+
+// Refresh re-reads the service mapping table from the directory (or
+// re-installs the static endpoint list). A failed remote lookup keeps
+// the previous table rather than wiping it.
+func (c *Client) Refresh() {
+	var eps []Endpoint
+	switch {
+	case c.cfg.Directory != nil:
+		eps = c.cfg.Directory.Lookup(c.cfg.Service, c.cfg.Partition)
+	case c.cfg.RemoteDir != nil:
+		got, err := c.cfg.RemoteDir.Lookup(c.cfg.Service, c.cfg.Partition)
+		if err != nil {
+			return // transient: keep the stale table
+		}
+		eps = got
+	default:
+		eps = append(eps, c.cfg.StaticEndpoints...)
+	}
+	c.mu.Lock()
+	c.endpoints = eps
+	c.mu.Unlock()
+}
+
+func (c *Client) refreshLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.RefreshInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.Refresh()
+		}
+	}
+}
+
+// Endpoints snapshots the current mapping table.
+func (c *Client) Endpoints() []Endpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Endpoint(nil), c.endpoints...)
+}
+
+// Close releases sockets and stops background goroutines.
+func (c *Client) Close() error {
+	c.once.Do(func() {
+		c.closed.Store(true)
+		close(c.done)
+		c.mu.Lock()
+		for _, a := range c.agents {
+			a.close()
+		}
+		for _, p := range c.pools {
+			p.closeAll()
+		}
+		c.mu.Unlock()
+		if c.mgr != nil {
+			c.mgr.close()
+		}
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// agent returns (creating if needed) the poll agent for a load address.
+func (c *Client) agent(loadAddr string) (*pollAgent, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.agents[loadAddr]; ok {
+		return a, nil
+	}
+	a, err := newPollAgent(loadAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.agents[loadAddr] = a
+	return a, nil
+}
+
+// pool returns (creating if needed) the connection pool for an access
+// address.
+func (c *Client) pool(accessAddr string) *connPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pools[accessAddr]; ok {
+		return p
+	}
+	p := newConnPool(accessAddr)
+	c.pools[accessAddr] = p
+	return p
+}
+
+// Access performs one service access of the configured service using
+// the configured policy, emulating serviceUs microseconds of work on
+// the chosen server.
+func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: client closed")
+	}
+	eps := c.Endpoints()
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("cluster: no live endpoints for %q", c.cfg.Service)
+	}
+	info := &AccessInfo{}
+	var target Endpoint
+	var releaseIdx uint32
+	release := false
+
+	switch c.cfg.Policy.Kind {
+	case core.Random:
+		c.mu.Lock()
+		target = eps[c.rng.Intn(len(eps))]
+		c.mu.Unlock()
+
+	case core.RoundRobin:
+		c.mu.Lock()
+		target = eps[c.rr.Next(len(eps))]
+		c.mu.Unlock()
+
+	case core.Ideal:
+		idx, err := c.mgr.acquire()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: manager acquire: %w", err)
+		}
+		if int(idx) >= len(eps) {
+			// Mapping table behind the manager's view; release and fail.
+			_ = c.mgr.release(idx)
+			return nil, fmt.Errorf("cluster: manager index %d beyond %d endpoints", idx, len(eps))
+		}
+		target = eps[idx]
+		releaseIdx, release = idx, true
+
+	case core.LocalLeast:
+		// Message-free: pick the endpoint with the fewest of this
+		// client's own in-flight accesses (ablation A4).
+		c.mu.Lock()
+		loads := make([]int, len(eps))
+		for i, ep := range eps {
+			loads[i] = c.outstanding[ep.NodeID]
+		}
+		target = eps[core.PickLeast(c.rng, loads)]
+		c.outstanding[target.NodeID]++
+		c.mu.Unlock()
+		defer func() {
+			c.mu.Lock()
+			c.outstanding[target.NodeID]--
+			c.mu.Unlock()
+		}()
+
+	case core.Poll:
+		var err error
+		target, err = c.pollAndPick(eps, info)
+		if err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("cluster: policy %v unsupported in prototype", c.cfg.Policy)
+	}
+
+	req := &Request{
+		ID:        c.reqID.Add(1),
+		Service:   c.cfg.Service,
+		Partition: c.cfg.Partition,
+		ServiceUs: serviceUs,
+		Payload:   payload,
+	}
+	resp, err := c.pool(target.AccessAddr).roundTrip(req, c.cfg.AccessTimeout)
+	if release {
+		// Report completion (or failure) back to the manager so the
+		// queue count is decremented, as in §4.
+		if rerr := c.mgr.release(releaseIdx); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	info.Server = target.NodeID
+	info.Resp = resp
+	return info, nil
+}
+
+// pollAndPick implements the random polling policy (§3.1-3.2): send
+// load inquiries to PollSize random servers through connected UDP
+// sockets, collect answers asynchronously, optionally discarding those
+// not answered within DiscardAfter, and pick the least-loaded
+// respondent.
+func (c *Client) pollAndPick(eps []Endpoint, info *AccessInfo) (Endpoint, error) {
+	d := c.cfg.Policy.PollSize
+	if d > len(eps) {
+		d = len(eps)
+	}
+	// Choose the poll set.
+	c.mu.Lock()
+	scratch := make([]int, len(eps))
+	polled := make([]int, d)
+	c.rng.Choose(polled, len(eps), scratch)
+	c.mu.Unlock()
+
+	type answer struct {
+		epIdx int
+		load  int
+		rtt   time.Duration
+	}
+	answers := make(chan answer, d)
+	start := time.Now()
+
+	sent := 0
+	seqs := make([]uint32, 0, d)
+	agents := make([]*pollAgent, 0, d)
+	for _, epIdx := range polled {
+		ep := eps[epIdx]
+		a, err := c.agent(ep.LoadAddr)
+		if err != nil {
+			continue // node vanished between refreshes; poll fewer
+		}
+		seq := c.seq.Add(1)
+		epIdx := epIdx
+		if err := a.inquire(seq, func(load int) {
+			select {
+			case answers <- answer{epIdx: epIdx, load: load, rtt: time.Since(start)}:
+			default:
+			}
+		}); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+		agents = append(agents, a)
+		sent++
+	}
+	info.Polled = sent
+
+	deadline := c.cfg.PollTimeout
+	if da := c.cfg.Policy.DiscardAfter; da > 0 && da < deadline {
+		deadline = da
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+
+	responses := make([]core.PollResponse, 0, sent)
+collect:
+	for len(responses) < sent {
+		select {
+		case ans := <-answers:
+			responses = append(responses, core.PollResponse{Server: ans.epIdx, Load: ans.load})
+			info.PollRTTs = append(info.PollRTTs, ans.rtt)
+		case <-timer.C:
+			break collect
+		case <-c.done:
+			return Endpoint{}, fmt.Errorf("cluster: client closed during poll")
+		}
+	}
+	// Abandon stragglers: their late answers are dropped by the agent.
+	for i, seq := range seqs {
+		agents[i].cancel(seq)
+	}
+	info.Answered = len(responses)
+	info.Discarded = sent - len(responses)
+	info.PollTime = time.Since(start)
+
+	if sent == 0 {
+		// Every agent failed; fall back to a random live endpoint.
+		c.mu.Lock()
+		ep := eps[c.rng.Intn(len(eps))]
+		c.mu.Unlock()
+		return ep, nil
+	}
+	c.mu.Lock()
+	pick := core.PickFromPolls(c.rng, responses, polled)
+	c.mu.Unlock()
+	return eps[pick], nil
+}

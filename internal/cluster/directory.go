@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Endpoint describes one published service instance: which node offers
+// which service partitions, and where its access point and load-index
+// server listen.
+type Endpoint struct {
+	NodeID     int
+	Service    string
+	Partitions []uint32
+	AccessAddr string // TCP service access point
+	LoadAddr   string // UDP load-index server
+}
+
+// HasPartition reports whether the endpoint hosts the given partition.
+// An endpoint with no explicit partitions hosts every partition
+// (an unpartitioned, fully replicated service).
+func (e Endpoint) HasPartition(p uint32) bool {
+	if len(e.Partitions) == 0 {
+		return true
+	}
+	for _, q := range e.Partitions {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Directory is the service availability subsystem (§3.1): a well-known
+// publish/subscribe channel holding soft state. Each server node
+// repeatedly publishes its service type, data partitions, and access
+// interface; published information expires unless refreshed, so node
+// failures remove their entries without explicit deregistration.
+//
+// Directory is safe for concurrent use.
+type Directory struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[dirKey]dirEntry
+}
+
+type dirKey struct {
+	nodeID  int
+	service string
+}
+
+type dirEntry struct {
+	ep      Endpoint
+	expires time.Time
+}
+
+// DefaultTTL is the soft-state lifetime of a published entry. Nodes
+// republish at a fraction of this.
+const DefaultTTL = 2 * time.Second
+
+// NewDirectory returns a directory whose entries live for ttl after
+// each publish (DefaultTTL when ttl == 0).
+func NewDirectory(ttl time.Duration) *Directory {
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	return &Directory{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[dirKey]dirEntry),
+	}
+}
+
+// setClock injects a fake clock for tests.
+func (d *Directory) setClock(now func() time.Time) { d.now = now }
+
+// Publish records (or refreshes) an endpoint. The entry stays alive for
+// one TTL.
+func (d *Directory) Publish(ep Endpoint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[dirKey{ep.NodeID, ep.Service}] = dirEntry{
+		ep:      ep,
+		expires: d.now().Add(d.ttl),
+	}
+}
+
+// Lookup returns the live endpoints offering the service and partition,
+// sorted by node id for stable ordering. Expired entries are pruned.
+func (d *Directory) Lookup(service string, partition uint32) []Endpoint {
+	now := d.now()
+	d.mu.Lock()
+	var out []Endpoint
+	for k, e := range d.entries {
+		if now.After(e.expires) {
+			delete(d.entries, k)
+			continue
+		}
+		if e.ep.Service == service && e.ep.HasPartition(partition) {
+			out = append(out, e.ep)
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}
+
+// Services returns the names of all live services, sorted.
+func (d *Directory) Services() []string {
+	now := d.now()
+	d.mu.Lock()
+	seen := make(map[string]bool)
+	for k, e := range d.entries {
+		if now.After(e.expires) {
+			delete(d.entries, k)
+			continue
+		}
+		seen[e.ep.Service] = true
+	}
+	d.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live entries.
+func (d *Directory) Len() int {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for k, e := range d.entries {
+		if now.After(e.expires) {
+			delete(d.entries, k)
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DirServer is the cross-process form of the service availability
+// subsystem: the paper's "highly available well-known central
+// directory" alternative to IP multicast (§3.1). Nodes publish their
+// soft state to it over UDP; clients query it over UDP. In-process
+// components keep using Directory directly; DirServer wraps one behind
+// a wire protocol so lbnode/lbclient in separate processes can share a
+// cluster view.
+//
+// Wire protocol (one datagram per message, UTF-8 text):
+//
+//	PUB <nodeID> <service> <accessAddr> <loadAddr> <p1,p2,...|->
+//	GET <service> <partition>
+//
+// A GET is answered with one datagram:
+//
+//	EP <nodeID> <accessAddr> <loadAddr>\n ... (one line per endpoint)
+//
+// An empty result is an empty datagram payload "END".
+type DirServer struct {
+	dir  *Directory
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartDirServer binds a loopback UDP socket in front of the given
+// directory (a fresh one when dir is nil).
+func StartDirServer(dir *Directory, ttl time.Duration) (*DirServer, error) {
+	if dir == nil {
+		dir = NewDirectory(ttl)
+	}
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DirServer{dir: dir, conn: conn}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *DirServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Directory returns the backing directory (for inspection in tests).
+func (s *DirServer) Directory() *Directory { return s.dir }
+
+// Close stops the server.
+func (s *DirServer) Close() error {
+	s.once.Do(func() { s.conn.Close() })
+	s.wg.Wait()
+	return nil
+}
+
+func (s *DirServer) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		m, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		reply := s.handle(string(buf[:m]))
+		if reply != "" {
+			_, _ = s.conn.WriteToUDP([]byte(reply), from)
+		}
+	}
+}
+
+// handle parses one request; it returns the reply payload ("" = none).
+func (s *DirServer) handle(msg string) string {
+	fields := strings.Fields(msg)
+	if len(fields) == 0 {
+		return ""
+	}
+	switch fields[0] {
+	case "PUB":
+		if len(fields) != 6 {
+			return ""
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return ""
+		}
+		ep := Endpoint{
+			NodeID: id, Service: fields[2],
+			AccessAddr: fields[3], LoadAddr: fields[4],
+		}
+		if fields[5] != "-" {
+			for _, p := range strings.Split(fields[5], ",") {
+				v, err := strconv.ParseUint(p, 10, 32)
+				if err != nil {
+					return ""
+				}
+				ep.Partitions = append(ep.Partitions, uint32(v))
+			}
+		}
+		s.dir.Publish(ep)
+		return ""
+	case "GET":
+		if len(fields) != 3 {
+			return ""
+		}
+		part, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return ""
+		}
+		eps := s.dir.Lookup(fields[1], uint32(part))
+		if len(eps) == 0 {
+			return "END"
+		}
+		var b bytes.Buffer
+		for _, ep := range eps {
+			fmt.Fprintf(&b, "EP %d %s %s\n", ep.NodeID, ep.AccessAddr, ep.LoadAddr)
+		}
+		return b.String()
+	default:
+		return ""
+	}
+}
+
+// RemoteDirectory is the client stub for a DirServer: it satisfies the
+// publish/lookup needs of nodes and clients in other processes.
+type RemoteDirectory struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+// DialDirectory connects (in the UDP sense) to a DirServer.
+func DialDirectory(addr string) (*RemoteDirectory, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDirectory{addr: addr, timeout: time.Second, conn: conn}, nil
+}
+
+// Close releases the socket.
+func (r *RemoteDirectory) Close() error { return r.conn.Close() }
+
+// Publish sends one soft-state announcement.
+func (r *RemoteDirectory) Publish(ep Endpoint) error {
+	parts := "-"
+	if len(ep.Partitions) > 0 {
+		strs := make([]string, len(ep.Partitions))
+		for i, p := range ep.Partitions {
+			strs[i] = strconv.FormatUint(uint64(p), 10)
+		}
+		parts = strings.Join(strs, ",")
+	}
+	msg := fmt.Sprintf("PUB %d %s %s %s %s",
+		ep.NodeID, ep.Service, ep.AccessAddr, ep.LoadAddr, parts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.conn.Write([]byte(msg))
+	return err
+}
+
+// Lookup queries the live endpoints for (service, partition).
+func (r *RemoteDirectory) Lookup(service string, partition uint32) ([]Endpoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	msg := fmt.Sprintf("GET %s %d", service, partition)
+	if _, err := r.conn.Write([]byte(msg)); err != nil {
+		return nil, err
+	}
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	m, err := r.conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	payload := strings.TrimSpace(string(buf[:m]))
+	if payload == "END" {
+		return nil, nil
+	}
+	var eps []Endpoint
+	for _, line := range strings.Split(payload, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "EP" {
+			return nil, fmt.Errorf("cluster: bad directory reply line %q", line)
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad node id in %q", line)
+		}
+		eps = append(eps, Endpoint{
+			NodeID: id, Service: service,
+			AccessAddr: fields[2], LoadAddr: fields[3],
+		})
+	}
+	return eps, nil
+}

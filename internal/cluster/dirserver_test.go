@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"finelb/internal/core"
+)
+
+func startDirServer(t *testing.T, ttl time.Duration) *DirServer {
+	t.Helper()
+	s, err := StartDirServer(nil, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dialDir(t *testing.T, s *DirServer) *RemoteDirectory {
+	t.Helper()
+	r, err := DialDirectory(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestDirServerPublishLookup(t *testing.T) {
+	s := startDirServer(t, time.Minute)
+	r := dialDir(t, s)
+	if err := r.Publish(Endpoint{
+		NodeID: 3, Service: "svc",
+		AccessAddr: "127.0.0.1:1001", LoadAddr: "127.0.0.1:1002",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Publishing is fire-and-forget over UDP; wait for it to land.
+	deadline := time.Now().Add(time.Second)
+	for {
+		eps, err := r.Lookup("svc", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) == 1 {
+			if eps[0].NodeID != 3 || eps[0].AccessAddr != "127.0.0.1:1001" || eps[0].LoadAddr != "127.0.0.1:1002" {
+				t.Fatalf("lookup returned %+v", eps[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publish never became visible")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDirServerPartitions(t *testing.T) {
+	s := startDirServer(t, time.Minute)
+	r := dialDir(t, s)
+	if err := r.Publish(Endpoint{
+		NodeID: 0, Service: "img", Partitions: []uint32{0, 1, 2},
+		AccessAddr: "127.0.0.1:1", LoadAddr: "127.0.0.1:2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(Endpoint{
+		NodeID: 1, Service: "img", Partitions: []uint32{10, 11},
+		AccessAddr: "127.0.0.1:3", LoadAddr: "127.0.0.1:4",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(part uint32, wantNode int) {
+		t.Helper()
+		deadline := time.Now().Add(time.Second)
+		for {
+			eps, err := r.Lookup("img", part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(eps) == 1 && eps[0].NodeID == wantNode {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("partition %d lookup = %+v", part, eps)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(1, 0)
+	waitFor(11, 1)
+}
+
+func TestDirServerEmptyLookup(t *testing.T) {
+	s := startDirServer(t, time.Minute)
+	r := dialDir(t, s)
+	eps, err := r.Lookup("ghost", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("lookup of unknown service returned %+v", eps)
+	}
+}
+
+func TestDirServerSoftStateExpiry(t *testing.T) {
+	s := startDirServer(t, 80*time.Millisecond)
+	r := dialDir(t, s)
+	if err := r.Publish(Endpoint{
+		NodeID: 0, Service: "svc", AccessAddr: "a:1", LoadAddr: "a:2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for visibility, then for expiry.
+	deadline := time.Now().Add(time.Second)
+	for {
+		eps, _ := r.Lookup("svc", 0)
+		if len(eps) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publish never visible")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(150 * time.Millisecond)
+	eps, err := r.Lookup("svc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("entry survived expiry: %+v", eps)
+	}
+}
+
+func TestDirServerHandleMalformed(t *testing.T) {
+	s := startDirServer(t, time.Minute)
+	// Malformed messages must be ignored, not crash or corrupt state.
+	for _, msg := range []string{
+		"", "NOPE", "PUB", "PUB x svc a b -", "PUB 1 svc a b x,y",
+		"GET", "GET svc notanumber",
+	} {
+		if reply := s.handle(msg); reply != "" && msg != "GET svc notanumber" {
+			t.Errorf("handle(%q) = %q, want empty", msg, reply)
+		}
+	}
+	if s.Directory().Len() != 0 {
+		t.Fatal("malformed publish created an entry")
+	}
+}
+
+func TestRemoteDirectoryEndToEnd(t *testing.T) {
+	// Full multi-component flow through the wire-protocol directory:
+	// nodes publish over UDP, a client discovers them over UDP, and
+	// accesses balance across them — the lbdir/lbnode/lbclient topology
+	// inside one test.
+	s := startDirServer(t, time.Minute)
+
+	nodeDir := dialDir(t, s)
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		n, err := StartNode(NodeConfig{
+			ID: i, Service: "svc", RemoteDir: nodeDir,
+			PublishInterval: 20 * time.Millisecond,
+			SlowProb:        -1, Seed: uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		t.Cleanup(func() { n.Close() })
+	}
+
+	clientDir := dialDir(t, s)
+	c, err := NewClient(ClientConfig{
+		Service: "svc", Policy: core.NewPoll(2),
+		RemoteDir:       clientDir,
+		RefreshInterval: 20 * time.Millisecond,
+		Seed:            9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Wait for discovery of all three nodes.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Endpoints()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client discovered only %d endpoints", len(c.Endpoints()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	seen := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		info, err := c.Access(200, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[info.Server] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("accesses did not spread: %v", seen)
+	}
+}

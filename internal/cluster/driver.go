@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"finelb/internal/core"
+	"finelb/internal/stats"
+	"finelb/internal/workload"
+)
+
+// ExperimentConfig describes one prototype measurement run (§4):
+// a cluster of server nodes and client nodes inside this process,
+// exercised open-loop by a workload's arrival schedule.
+type ExperimentConfig struct {
+	Servers int
+	Clients int // default 6, as in the paper's experiments
+	// Workload must already be scaled (workload.Workload.ScaledTo) to
+	// the target per-server load for Servers servers.
+	Workload workload.Workload
+	Policy   core.Policy
+
+	// Accesses is the number of accesses to issue (default 20000).
+	Accesses int
+	// WarmupFrac excludes the first fraction of accesses from the
+	// statistics (default 0.1).
+	WarmupFrac float64
+
+	// Node knobs (see NodeConfig).
+	Workers  int
+	Spin     bool
+	SlowProb float64
+	SlowDist stats.Dist
+	DropProb float64
+
+	// TimeScale multiplies every arrival interval and service time, to
+	// shrink (<1) or stretch (>1) the wall-clock duration of a run
+	// without changing the load level. Default 1.
+	TimeScale float64
+
+	ServiceName string // default "translate"
+	Seed        uint64
+}
+
+// ExperimentResult aggregates the measurements of one run.
+type ExperimentResult struct {
+	Config ExperimentConfig
+
+	// Response summarizes access response times in seconds, measured
+	// from each access's scheduled arrival instant (so queueing from
+	// client-side lateness counts, as in an open-loop load generator),
+	// over post-warmup successful accesses.
+	Response *stats.Summary
+	// PollTime summarizes per-access time spent acquiring load
+	// information, post-warmup.
+	PollTime *stats.Summary
+	// PollRTT summarizes individual inquiry round trips (profile P1).
+	PollRTT *stats.Summary
+
+	Polled    int64
+	Answered  int64
+	Discarded int64
+	Errors    int64
+	Overloads int64
+
+	PerServer []int64 // accesses served by each node (by index)
+	NodeStats []NodeStats
+	WallTime  time.Duration
+}
+
+// MeanResponse returns the run's mean response time in seconds.
+func (r *ExperimentResult) MeanResponse() float64 { return r.Response.Mean() }
+
+// Describe summarizes the run in one line.
+func (r *ExperimentResult) Describe() string {
+	return fmt.Sprintf("%s %s n=%d: mean=%.3fms p95=%.3fms poll=%.3fms discard=%d err=%d",
+		r.Config.Workload.Name, r.Config.Policy, r.Config.Servers,
+		r.Response.Mean()*1e3, r.Response.Percentile(0.95)*1e3,
+		r.PollTime.Mean()*1e3, r.Discarded, r.Errors)
+}
+
+// Cluster is a running prototype cluster: directory, nodes, clients,
+// and (for Ideal) the centralized manager. Use StartCluster for
+// exploratory programs and examples; RunExperiment builds one
+// internally.
+type Cluster struct {
+	Dir     *Directory
+	Nodes   []*Node
+	Clients []*Client
+	Manager *IdealManager
+}
+
+// StartCluster boots servers and clients per cfg and waits until every
+// client sees all servers in its mapping table.
+func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	cl := &Cluster{Dir: NewDirectory(0)}
+	fail := func(err error) (*Cluster, error) {
+		cl.Close()
+		return nil, err
+	}
+
+	if cfg.Policy.Kind == core.Ideal {
+		m, err := StartIdealManager(cfg.Servers, cfg.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		cl.Manager = m
+	}
+
+	for i := 0; i < cfg.Servers; i++ {
+		n, err := StartNode(NodeConfig{
+			ID:        i,
+			Service:   cfg.ServiceName,
+			Workers:   cfg.Workers,
+			Spin:      cfg.Spin,
+			Directory: cl.Dir,
+			SlowProb:  cfg.SlowProb,
+			SlowDist:  cfg.SlowDist,
+			DropProb:  cfg.DropProb,
+			Seed:      cfg.Seed + uint64(i)*7919,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cl.Nodes = append(cl.Nodes, n)
+	}
+
+	mgrAddr := ""
+	if cl.Manager != nil {
+		mgrAddr = cl.Manager.Addr()
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		c, err := NewClient(ClientConfig{
+			ID:          i,
+			Directory:   cl.Dir,
+			Service:     cfg.ServiceName,
+			Policy:      cfg.Policy,
+			ManagerAddr: mgrAddr,
+			Seed:        cfg.Seed + 104729 + uint64(i)*31,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cl.Clients = append(cl.Clients, c)
+	}
+
+	// Wait (briefly) until mapping tables are complete.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, c := range cl.Clients {
+		for len(c.Endpoints()) < cfg.Servers {
+			if time.Now().After(deadline) {
+				return fail(fmt.Errorf("cluster: mapping tables incomplete after 2s"))
+			}
+			time.Sleep(time.Millisecond)
+			c.Refresh()
+		}
+	}
+	return cl, nil
+}
+
+// Close shuts everything down.
+func (cl *Cluster) Close() {
+	for _, c := range cl.Clients {
+		c.Close()
+	}
+	for _, n := range cl.Nodes {
+		n.Close()
+	}
+	if cl.Manager != nil {
+		cl.Manager.Close()
+	}
+}
+
+func (cfg ExperimentConfig) withDefaults() ExperimentConfig {
+	if cfg.Clients == 0 {
+		cfg.Clients = 6
+	}
+	if cfg.Accesses == 0 {
+		cfg.Accesses = 20000
+	}
+	if cfg.WarmupFrac == 0 {
+		cfg.WarmupFrac = 0.1
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.ServiceName == "" {
+		cfg.ServiceName = "translate"
+	}
+	return cfg
+}
+
+// RunExperiment boots a cluster, replays the workload open-loop, and
+// returns the measurements.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("cluster: Servers = %d", cfg.Servers)
+	}
+	if cfg.Workload.Arrival == nil || cfg.Workload.Service == nil {
+		return nil, fmt.Errorf("cluster: incomplete workload")
+	}
+	if cfg.TimeScale <= 0 {
+		return nil, fmt.Errorf("cluster: TimeScale = %v", cfg.TimeScale)
+	}
+
+	cl, err := StartCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &ExperimentResult{
+		Config:   cfg,
+		Response: stats.NewSummary(true),
+		PollTime: stats.NewSummary(true),
+		PollRTT:  stats.NewSummary(true),
+	}
+	res.PerServer = make([]int64, cfg.Servers)
+
+	// Pre-generate the access schedule so generation cost is off the
+	// timed path.
+	trace := cfg.Workload.Generate(cfg.Accesses, cfg.Seed^0xfeedface)
+	warmup := int(float64(cfg.Accesses) * cfg.WarmupFrac)
+
+	// Collect garbage left over from setup (or from a preceding run in
+	// the same process) so GC pauses don't pollute the timed phase —
+	// latency experiments on a single-core box are sensitive to this.
+	runtime.GC()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now().Add(20 * time.Millisecond) // settle time before first arrival
+
+	for i, a := range trace {
+		i, a := i, a
+		client := cl.Clients[i%len(cl.Clients)]
+		arrival := start.Add(time.Duration(a.Arrival * cfg.TimeScale * float64(time.Second)))
+		serviceUs := uint32(a.Service * cfg.TimeScale * 1e6)
+		wg.Add(1)
+		time.AfterFunc(time.Until(arrival), func() {
+			defer wg.Done()
+			info, err := client.Access(serviceUs, nil)
+			elapsed := time.Since(arrival)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Errors++
+				return
+			}
+			if info.Resp.Status == StatusOverload {
+				res.Overloads++
+				return
+			}
+			res.PerServer[info.Server]++
+			res.Polled += int64(info.Polled)
+			res.Answered += int64(info.Answered)
+			res.Discarded += int64(info.Discarded)
+			if i >= warmup {
+				res.Response.Add(elapsed.Seconds())
+				if cfg.Policy.Kind == core.Poll {
+					res.PollTime.Add(info.PollTime.Seconds())
+				}
+				for _, rtt := range info.PollRTTs {
+					res.PollRTT.Add(rtt.Seconds())
+				}
+			}
+		})
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+	for _, n := range cl.Nodes {
+		res.NodeStats = append(res.NodeStats, n.Stats())
+	}
+	return res, nil
+}

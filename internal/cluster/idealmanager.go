@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"finelb/internal/stats"
+)
+
+// IdealManager emulates the IDEAL policy in the prototype exactly as
+// the paper does (§4): a centralized load-index manager keeps every
+// server's queue length; a client asks it for the shortest-queue server
+// before each access (which increments that queue) and reports back
+// after the access completes (which decrements it).
+type IdealManager struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	counts []int64
+	rng    *stats.RNG
+
+	wg     sync.WaitGroup
+	done   chan struct{}
+	once   sync.Once
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Manager protocol opcodes.
+const (
+	mgrOpAcquire = 1
+	mgrOpRelease = 2
+)
+
+// StartIdealManager starts a manager for n servers on a loopback TCP
+// address.
+func StartIdealManager(n int, seed uint64) (*IdealManager, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: IdealManager with n = %d", n)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	m := &IdealManager{
+		ln:     ln,
+		counts: make([]int64, n),
+		rng:    stats.NewRNG(seed ^ 0xdeadbeefcafef00d),
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the manager's TCP address.
+func (m *IdealManager) Addr() string { return m.ln.Addr().String() }
+
+// Counts snapshots the per-server assigned counts.
+func (m *IdealManager) Counts() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.counts))
+	copy(out, m.counts)
+	return out
+}
+
+// Close stops the manager and waits for its goroutines.
+func (m *IdealManager) Close() error {
+	m.once.Do(func() {
+		close(m.done)
+		m.ln.Close()
+		m.connMu.Lock()
+		for c := range m.conns {
+			c.Close()
+		}
+		m.connMu.Unlock()
+	})
+	m.wg.Wait()
+	return nil
+}
+
+func (m *IdealManager) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		m.connMu.Lock()
+		m.conns[c] = struct{}{}
+		m.connMu.Unlock()
+		m.wg.Add(1)
+		go m.serve(c)
+	}
+}
+
+// acquire picks the least-loaded server (uniform tie-break) and
+// increments its count.
+func (m *IdealManager) acquire() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best, ties := 0, 1
+	for i := 1; i < len(m.counts); i++ {
+		switch {
+		case m.counts[i] < m.counts[best]:
+			best, ties = i, 1
+		case m.counts[i] == m.counts[best]:
+			ties++
+			if m.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	m.counts[best]++
+	return uint32(best)
+}
+
+// release decrements a server's count, clamping at zero.
+func (m *IdealManager) release(idx uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(idx) >= len(m.counts) {
+		return false
+	}
+	if m.counts[idx] > 0 {
+		m.counts[idx]--
+	}
+	return true
+}
+
+func (m *IdealManager) serve(c net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		m.connMu.Lock()
+		delete(m.conns, c)
+		m.connMu.Unlock()
+		c.Close()
+	}()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	var buf [4]byte
+	for {
+		op, err := r.ReadByte()
+		if err != nil {
+			return
+		}
+		switch op {
+		case mgrOpAcquire:
+			binary.LittleEndian.PutUint32(buf[:], m.acquire())
+			if _, err := w.Write(buf[:]); err != nil {
+				return
+			}
+		case mgrOpRelease:
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return
+			}
+			ok := m.release(binary.LittleEndian.Uint32(buf[:]))
+			ack := byte(0)
+			if !ok {
+				ack = 1
+			}
+			if err := w.WriteByte(ack); err != nil {
+				return
+			}
+		default:
+			return // protocol error: drop the connection
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// managerClient wraps a connection pool with the manager protocol.
+type managerClient struct{ pool *connPool }
+
+func newManagerClient(addr string) *managerClient {
+	return &managerClient{pool: newConnPool(addr)}
+}
+
+func (mc *managerClient) acquire() (uint32, error) {
+	pc, err := mc.pool.get()
+	if err != nil {
+		return 0, err
+	}
+	if err := pc.w.WriteByte(mgrOpAcquire); err != nil {
+		mc.pool.discard(pc)
+		return 0, err
+	}
+	if err := pc.w.Flush(); err != nil {
+		mc.pool.discard(pc)
+		return 0, err
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(pc.r, buf[:]); err != nil {
+		mc.pool.discard(pc)
+		return 0, err
+	}
+	mc.pool.put(pc)
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func (mc *managerClient) release(idx uint32) error {
+	pc, err := mc.pool.get()
+	if err != nil {
+		return err
+	}
+	var buf [5]byte
+	buf[0] = mgrOpRelease
+	binary.LittleEndian.PutUint32(buf[1:], idx)
+	if _, err := pc.w.Write(buf[:]); err != nil {
+		mc.pool.discard(pc)
+		return err
+	}
+	if err := pc.w.Flush(); err != nil {
+		mc.pool.discard(pc)
+		return err
+	}
+	ack, err := pc.r.ReadByte()
+	if err != nil {
+		mc.pool.discard(pc)
+		return err
+	}
+	mc.pool.put(pc)
+	if ack != 0 {
+		return fmt.Errorf("cluster: manager rejected release of %d", idx)
+	}
+	return nil
+}
+
+func (mc *managerClient) close() { mc.pool.closeAll() }

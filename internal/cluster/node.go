@@ -1,0 +1,468 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finelb/internal/stats"
+)
+
+// NodeConfig configures a server node.
+type NodeConfig struct {
+	ID         int
+	Service    string
+	Partitions []uint32
+
+	// Workers is the service worker pool size (§3.1). Default 1, which
+	// makes the node one non-preemptive processing unit as in the
+	// simulation model.
+	Workers int
+	// QueueCap bounds the request queue; excess requests are refused
+	// with StatusOverload. Default 4096.
+	QueueCap int
+	// Spin burns CPU for the service duration instead of sleeping,
+	// matching the paper's CPU-spinning microbenchmark exactly (at the
+	// cost of real CPU contention between in-process nodes).
+	Spin bool
+
+	// Handler, when non-nil, replaces the sleep/spin emulation with a
+	// real service implementation: the worker invokes it for every
+	// request, and its result becomes the response. This is how the
+	// Neptune-style replicated services (internal/neptune) mount real
+	// application logic on a node. While the handler runs it occupies
+	// one worker — a non-preemptive processing unit, as in the paper's
+	// model.
+	Handler Handler
+
+	// Directory, when non-nil, receives periodic soft-state publishes.
+	Directory *Directory
+	// RemoteDir, when non-nil, additionally receives the same publishes
+	// over UDP (a DirServer in another process).
+	RemoteDir       *RemoteDirectory
+	PublishInterval time.Duration // default DefaultTTL / 4
+
+	// Load-inquiry contention model (DESIGN.md "Prototype contention
+	// model"): when the node has active work, an inquiry's answer is
+	// delayed with probability SlowProb by a sample from SlowDist.
+	SlowProb float64    // default DefaultSlowProb; negative disables
+	SlowDist stats.Dist // seconds; default lognormal mean/σ 18 ms
+
+	// DropProb silently drops incoming load inquiries with this
+	// probability (failure injection; UDP loses datagrams in real
+	// clusters).
+	DropProb float64
+
+	Seed uint64
+}
+
+// Contention-model defaults, calibrated against the paper's §3.2
+// profile (≈8.1% of polls over 10 ms at 90% load with poll size 3).
+const DefaultSlowProb = 0.15
+
+// DefaultSlowDist returns the default scheduling-delay distribution.
+func DefaultSlowDist() stats.Dist {
+	return stats.LognormalFromMoments(18e-3, 18e-3)
+}
+
+// Handler is a real service implementation mounted on a node. Serve
+// runs on a worker goroutine; it must be safe for concurrent use when
+// the node has more than one worker.
+type Handler interface {
+	Serve(req *Request) (payload []byte, status uint8)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *Request) ([]byte, uint8)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *Request) ([]byte, uint8) { return f(req) }
+
+// NodeStats are monotonic counters exposed for experiments.
+type NodeStats struct {
+	Served    int64 // requests completed
+	Overloads int64 // requests refused with StatusOverload
+	Inquiries int64 // load inquiries answered
+	Dropped   int64 // load inquiries dropped (injection)
+	SlowPaths int64 // inquiries answered through the delayed path
+}
+
+// Node is a server node: TCP service access point, request queue and
+// worker pool, and UDP load-index server.
+type Node struct {
+	cfg NodeConfig
+
+	tcpLn   net.Listener
+	udpConn *net.UDPConn
+
+	active atomic.Int64 // load index: accesses accepted and not yet answered
+
+	queue chan nodeTask
+	wg    sync.WaitGroup
+	done  chan struct{}
+	once  sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	served    atomic.Int64
+	overloads atomic.Int64
+	inquiries atomic.Int64
+	dropped   atomic.Int64
+	slowPaths atomic.Int64
+}
+
+type nodeTask struct {
+	req  *Request
+	conn *nodeConn
+}
+
+// nodeConn wraps one accepted connection with a write lock so worker
+// goroutines can interleave responses safely.
+type nodeConn struct {
+	c  net.Conn
+	w  *bufio.Writer
+	mu sync.Mutex
+}
+
+func (nc *nodeConn) writeResponse(resp *Response) error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return WriteResponse(nc.w, resp)
+}
+
+// StartNode binds loopback TCP and UDP listeners and starts the node's
+// accept loop, worker pool, load-index server, and publisher.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cluster: Workers = %d", cfg.Workers)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("cluster: QueueCap = %d", cfg.QueueCap)
+	}
+	if cfg.SlowProb == 0 {
+		cfg.SlowProb = DefaultSlowProb
+	}
+	if cfg.SlowProb < 0 {
+		cfg.SlowProb = 0
+	}
+	if cfg.SlowDist == nil {
+		cfg.SlowDist = DefaultSlowDist()
+	}
+	if cfg.PublishInterval == 0 {
+		cfg.PublishInterval = DefaultTTL / 4
+	}
+
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		tcpLn.Close()
+		return nil, err
+	}
+	udpConn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		tcpLn.Close()
+		return nil, err
+	}
+
+	n := &Node{
+		cfg:     cfg,
+		tcpLn:   tcpLn,
+		udpConn: udpConn,
+		queue:   make(chan nodeTask, cfg.QueueCap),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.loadIndexLoop()
+
+	if cfg.Directory != nil || cfg.RemoteDir != nil {
+		n.publish()
+		n.wg.Add(1)
+		go n.publishLoop()
+	}
+	return n, nil
+}
+
+// AccessAddr returns the TCP service access address.
+func (n *Node) AccessAddr() string { return n.tcpLn.Addr().String() }
+
+// LoadAddr returns the UDP load-index address.
+func (n *Node) LoadAddr() string { return n.udpConn.LocalAddr().String() }
+
+// LoadIndex returns the node's current load index: the total number of
+// active service accesses (queued plus in service), the paper's load
+// measure.
+func (n *Node) LoadIndex() int { return int(n.active.Load()) }
+
+// Endpoint returns the node's published endpoint description.
+func (n *Node) Endpoint() Endpoint {
+	return Endpoint{
+		NodeID:     n.cfg.ID,
+		Service:    n.cfg.Service,
+		Partitions: n.cfg.Partitions,
+		AccessAddr: n.AccessAddr(),
+		LoadAddr:   n.LoadAddr(),
+	}
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Served:    n.served.Load(),
+		Overloads: n.overloads.Load(),
+		Inquiries: n.inquiries.Load(),
+		Dropped:   n.dropped.Load(),
+		SlowPaths: n.slowPaths.Load(),
+	}
+}
+
+// Close shuts the node down and waits for its goroutines to exit.
+// Requests still queued at shutdown are abandoned.
+func (n *Node) Close() error {
+	n.once.Do(func() {
+		close(n.done)
+		n.tcpLn.Close()
+		n.udpConn.Close()
+		n.connMu.Lock()
+		for c := range n.conns {
+			c.Close()
+		}
+		n.connMu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) publish() {
+	ep := n.Endpoint()
+	if n.cfg.Directory != nil {
+		n.cfg.Directory.Publish(ep)
+	}
+	if n.cfg.RemoteDir != nil {
+		_ = n.cfg.RemoteDir.Publish(ep) // soft state: a lost datagram is refreshed next period
+	}
+}
+
+func (n *Node) publishLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.PublishInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.publish()
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.tcpLn.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+func (n *Node) serveConn(c net.Conn) {
+	defer n.wg.Done()
+	n.connMu.Lock()
+	n.conns[c] = struct{}{}
+	n.connMu.Unlock()
+	defer func() {
+		n.connMu.Lock()
+		delete(n.conns, c)
+		n.connMu.Unlock()
+		c.Close()
+	}()
+	nc := &nodeConn{c: c, w: bufio.NewWriter(c)}
+	r := bufio.NewReader(c)
+	for {
+		req, err := ReadRequest(r)
+		if err != nil {
+			return // connection closed or protocol error
+		}
+		if n.cfg.Service != "" && req.Service != n.cfg.Service {
+			_ = nc.writeResponse(&Response{ID: req.ID, Status: StatusNoService})
+			continue
+		}
+		// The access becomes active the moment it is accepted; this is
+		// the quantity the load-index server reports.
+		n.active.Add(1)
+		select {
+		case n.queue <- nodeTask{req: req, conn: nc}:
+		default:
+			n.active.Add(-1)
+			n.overloads.Add(1)
+			_ = nc.writeResponse(&Response{ID: req.ID, Status: StatusOverload})
+		}
+	}
+}
+
+func (n *Node) worker() {
+	defer n.wg.Done()
+	var sl sleeper
+	for {
+		select {
+		case <-n.done:
+			return
+		case task := <-n.queue:
+			payload := task.req.Payload // echo, like the paper's translation services
+			status := uint8(StatusOK)
+			if n.cfg.Handler != nil {
+				payload, status = n.cfg.Handler.Serve(task.req)
+			} else {
+				d := time.Duration(task.req.ServiceUs) * time.Microsecond
+				if n.cfg.Spin {
+					spinFor(d)
+				} else if d > 0 {
+					sl.sleep(d)
+				}
+			}
+			load := uint32(n.active.Load())
+			n.active.Add(-1)
+			n.served.Add(1)
+			_ = task.conn.writeResponse(&Response{
+				ID:      task.req.ID,
+				Status:  status,
+				Load:    load,
+				Payload: payload,
+			})
+		}
+	}
+}
+
+// sleeper emulates CPU work of a requested duration with time.Sleep
+// while compensating for the kernel's wakeup overshoot (hundreds of
+// microseconds per sleep on a busy box), which would otherwise inflate
+// every service time and silently push a 90%-load experiment into
+// saturation.
+//
+// It keeps two correction terms per worker:
+//
+//   - debt: signed accumulated difference between time actually slept
+//     and time requested. Overshoot from one job shortens the next, so
+//     the *long-run* service rate — the quantity that sets the server's
+//     utilization — is exact even though individual jobs carry a few
+//     hundred microseconds of noise.
+//   - slack: an EWMA estimate of the per-sleep overshoot, subtracted
+//     up front so per-job noise stays small.
+//
+// This plays the role of the paper's empirical load calibration (§4).
+type sleeper struct {
+	debt  time.Duration // slept-minus-requested carryover (+ = overshot)
+	slack time.Duration // EWMA of per-sleep overshoot
+}
+
+func (s *sleeper) sleep(d time.Duration) {
+	needed := d - s.debt
+	if needed <= 0 {
+		// Previous overshoot already covered this job.
+		s.debt = -needed
+		return
+	}
+	target := needed - s.slack
+	if target < 0 {
+		target = 0
+	}
+	start := time.Now()
+	if target > 0 {
+		time.Sleep(target)
+	}
+	actual := time.Since(start)
+	s.debt = actual - needed
+	if over := actual - target; over > 0 {
+		s.slack += (over - s.slack) / 8
+	}
+}
+
+// spinFor burns CPU until d has elapsed, yielding occasionally so the
+// scheduler can run other goroutines on the same thread.
+func spinFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		runtime.Gosched()
+	}
+}
+
+// loadIndexLoop answers UDP load inquiries (§3.1): the server side of
+// the random polling policy. Answers pass through the contention model
+// described in DESIGN.md: a busy node occasionally answers slowly, the
+// way the paper's busy Linux nodes took >10 ms to answer a 290 µs
+// round-trip inquiry.
+func (n *Node) loadIndexLoop() {
+	defer n.wg.Done()
+	rng := stats.NewRNG(n.cfg.Seed ^ 0x9e3779b97f4a7c15)
+	buf := make([]byte, 64)
+	out := make([]byte, 0, loadSize)
+	for {
+		m, addr, err := n.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		seq, err := DecodeInquiry(buf[:m])
+		if err != nil {
+			continue // ignore malformed datagrams
+		}
+		if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
+			n.dropped.Add(1)
+			continue
+		}
+		n.inquiries.Add(1)
+		if n.active.Load() > 0 && n.cfg.SlowProb > 0 && rng.Float64() < n.cfg.SlowProb {
+			// Slow path: scheduling interference on a busy node.
+			n.slowPaths.Add(1)
+			delay := time.Duration(n.cfg.SlowDist.Sample(rng) * float64(time.Second))
+			seqCopy, addrCopy := seq, *addr
+			time.AfterFunc(delay, func() {
+				select {
+				case <-n.done:
+					return
+				default:
+				}
+				reply := EncodeLoad(make([]byte, 0, loadSize), seqCopy, uint32(n.active.Load()))
+				_, _ = n.udpConn.WriteToUDP(reply, &addrCopy)
+			})
+			continue
+		}
+		out = EncodeLoad(out, seq, uint32(n.active.Load()))
+		_, _ = n.udpConn.WriteToUDP(out, addr)
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+)
+
+// pollAgent is the client side of the load-inquiry protocol for one
+// server: a connected UDP socket (as in §3.1) plus a demultiplexer that
+// routes answers back to the access goroutines that asked, by sequence
+// number. Late answers whose inquiry was already cancelled (discarded)
+// are dropped here, which is exactly the prototype optimization of
+// §3.2.
+type pollAgent struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	pending map[uint32]func(load int)
+	closed  bool
+}
+
+func newPollAgent(loadAddr string) (*pollAgent, error) {
+	raddr, err := net.ResolveUDPAddr("udp", loadAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	a := &pollAgent{
+		conn:    conn,
+		pending: make(map[uint32]func(load int)),
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *pollAgent) readLoop() {
+	buf := make([]byte, 64)
+	for {
+		m, err := a.conn.Read(buf)
+		if err != nil {
+			return // socket closed
+		}
+		seq, load, err := DecodeLoad(buf[:m])
+		if err != nil {
+			continue
+		}
+		a.mu.Lock()
+		cb := a.pending[seq]
+		delete(a.pending, seq)
+		a.mu.Unlock()
+		if cb != nil {
+			cb(int(load))
+		}
+	}
+}
+
+// inquire registers cb for seq and sends the inquiry datagram. cb runs
+// on the agent's read loop; it must not block.
+func (a *pollAgent) inquire(seq uint32, cb func(load int)) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return net.ErrClosed
+	}
+	a.pending[seq] = cb
+	a.mu.Unlock()
+
+	var buf [inquirySize]byte
+	if _, err := a.conn.Write(EncodeInquiry(buf[:0], seq)); err != nil {
+		a.cancel(seq)
+		return err
+	}
+	return nil
+}
+
+// cancel forgets an outstanding inquiry; a late answer is discarded.
+func (a *pollAgent) cancel(seq uint32) {
+	a.mu.Lock()
+	delete(a.pending, seq)
+	a.mu.Unlock()
+}
+
+func (a *pollAgent) close() {
+	a.mu.Lock()
+	a.closed = true
+	a.pending = make(map[uint32]func(load int))
+	a.mu.Unlock()
+	a.conn.Close()
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := &Request{
+		ID:        12345678901234,
+		Service:   "translate",
+		Partition: 7,
+		ServiceUs: 2220,
+		Payload:   []byte("keyword"),
+	}
+	if err := WriteRequest(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Service != in.Service || out.Partition != in.Partition ||
+		out.ServiceUs != in.ServiceUs || string(out.Payload) != string(in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestRequestEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, &Request{ID: 1, Service: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 {
+		t.Fatalf("payload %v", out.Payload)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := &Response{ID: 99, Status: StatusOK, Load: 13, Payload: []byte("ok")}
+	if err := WriteResponse(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 99 || out.Status != StatusOK || out.Load != 13 || string(out.Payload) != "ok" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestRequestRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, &Request{Service: strings.Repeat("x", 300)}); err == nil {
+		t.Fatal("oversized service name accepted")
+	}
+	if err := WriteRequest(w, &Request{Service: "s", Payload: make([]byte, maxPayload+1)}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReadRequestBadMagic(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{0x00, protoVersion, 0, 0, 0, 0, 0, 0, 0, 0}))
+	if _, err := ReadRequest(r); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRequestBadVersion(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{magicRequest, 99, 0, 0, 0, 0, 0, 0, 0, 0}))
+	if _, err := ReadRequest(r); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadResponseBadMagic(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{0x00, protoVersion}))
+	if _, err := ReadResponse(r); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRequestHugePayloadLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, &Request{ID: 1, Service: "s", Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the payload-length field (last 4 bytes before payload).
+	plenOff := len(b) - 3 - 4
+	b[plenOff] = 0xff
+	b[plenOff+1] = 0xff
+	b[plenOff+2] = 0xff
+	b[plenOff+3] = 0x7f
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(b))); err == nil {
+		t.Fatal("corrupted length accepted")
+	}
+}
+
+func TestReadRequestTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", Payload: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(full[:cut]))); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestInquiryDatagrams(t *testing.T) {
+	buf := EncodeInquiry(nil, 42)
+	if len(buf) != inquirySize {
+		t.Fatalf("inquiry size %d", len(buf))
+	}
+	seq, err := DecodeInquiry(buf)
+	if err != nil || seq != 42 {
+		t.Fatalf("decode: %v %v", seq, err)
+	}
+	if _, err := DecodeInquiry(buf[:3]); err == nil {
+		t.Fatal("short inquiry accepted")
+	}
+}
+
+func TestLoadDatagrams(t *testing.T) {
+	buf := EncodeLoad(nil, 7, 99)
+	if len(buf) != loadSize {
+		t.Fatalf("load size %d", len(buf))
+	}
+	seq, load, err := DecodeLoad(buf)
+	if err != nil || seq != 7 || load != 99 {
+		t.Fatalf("decode: %v %v %v", seq, load, err)
+	}
+	buf[0] = 0x00
+	if _, _, err := DecodeLoad(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// Property: request framing round-trips arbitrary content.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(id uint64, part, svc uint32, name string, payload []byte) bool {
+		if len(name) > maxServiceName || len(payload) > maxPayload {
+			return true
+		}
+		in := &Request{ID: id, Service: name, Partition: part, ServiceUs: svc, Payload: payload}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := WriteRequest(w, in); err != nil {
+			return false
+		}
+		out, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Service == in.Service &&
+			out.Partition == in.Partition && out.ServiceUs == in.ServiceUs &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: load datagrams round-trip arbitrary values.
+func TestQuickLoadRoundTrip(t *testing.T) {
+	f := func(seq, load uint32) bool {
+		gotSeq, gotLoad, err := DecodeLoad(EncodeLoad(nil, seq, load))
+		return err == nil && gotSeq == seq && gotLoad == load
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRequestRoundTrip(b *testing.B) {
+	req := &Request{ID: 1, Service: "translate", Partition: 3, ServiceUs: 2220, Payload: []byte("keyword")}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteRequest(w, req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadRequest(bufio.NewReader(&buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadDatagramEncodeDecode(b *testing.B) {
+	buf := make([]byte, 0, loadSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeLoad(buf, uint32(i), uint32(i%17))
+		if _, _, err := DecodeLoad(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

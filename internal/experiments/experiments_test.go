@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickOpts = Options{Quick: true, Seed: 1}
+
+// cellF parses a table cell as a float.
+func cellF(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tbl.Cell(row, col), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a number: %v", row, col, tbl.Cell(row, col), err)
+	}
+	return v
+}
+
+// colIndex finds a header column by exact name.
+func colIndex(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, h := range tbl.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, tbl.Header)
+	return -1
+}
+
+// rowIndex finds the first row whose given columns match the values.
+func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
+	t.Helper()
+	for r, row := range tbl.Rows {
+		ok := true
+		for c, want := range match {
+			if row[c] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	t.Fatalf("no row matching %v", match)
+	return -1
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Fatalf("registry has %d entries: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, err := Get(id); err != nil {
+			t.Errorf("Get(%q): %v", id, err)
+		}
+		if Describe(id) == "" {
+			t.Errorf("no description for %q", id)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if Describe("nope") != "" {
+		t.Error("description for unknown id")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow("one", 1.5)
+	tbl.AddRow(2, "two")
+	tbl.AddNote("note %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"== x: demo ==", "one", "1.5", "two", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Cell(0, 1) != "1.5" {
+		t.Errorf("Cell = %q", tbl.Cell(0, 1))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Measured service means must track the published columns within 10%.
+	for r := 0; r < 2; r++ {
+		got := cellF(t, tbl, r, 4)
+		want := cellF(t, tbl, r, 6)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("row %d: measured service mean %v vs published %v", r, got, want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	tbl, err := Figure2(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 2 busy levels x 3 workloads
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Poisson/Exp at 90%: inaccuracy grows with delay and stays below
+	// the Eq.1 bound (within noise).
+	r := rowIndex(t, tbl, map[int]string{0: "90%", 1: "Poisson/Exp"})
+	small := cellF(t, tbl, r, 2)  // d=0.1x
+	large := cellF(t, tbl, r, 11) // d=100x
+	bound := cellF(t, tbl, r, 12) // Eq1 bound
+	if small >= large {
+		t.Errorf("inaccuracy not increasing: %v vs %v", small, large)
+	}
+	if large > bound*1.25 {
+		t.Errorf("inaccuracy %v above bound %v", large, bound)
+	}
+	// 50% Poisson bound is the paper's 1.33.
+	r50 := rowIndex(t, tbl, map[int]string{0: "50%", 1: "Poisson/Exp"})
+	if b := cellF(t, tbl, r50, 12); b < 1.3 || b > 1.37 {
+		t.Errorf("50%% bound = %v, want 1.333", b)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	tbl, err := Figure3(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Fine-grain at 90%: 1s broadcast interval is much worse than 2ms,
+	// and the normalized values are >= ~1 (IDEAL is the floor).
+	r := rowIndex(t, tbl, map[int]string{0: "90%", 1: "Fine-Grain trace"})
+	fast := cellF(t, tbl, r, 3) // 2ms column
+	slow := cellF(t, tbl, r, 6) // 1000ms column
+	if slow < 3*fast {
+		t.Errorf("slow broadcast %v not >> fast %v for fine grain at 90%%", slow, fast)
+	}
+	if fast < 0.8 {
+		t.Errorf("normalized response %v below IDEAL floor", fast)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	tbl, err := Figure4(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 workloads x 2 loads (quick)
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	randomCol := colIndex(t, tbl, "random")
+	poll2Col := colIndex(t, tbl, "poll 2")
+	idealCol := colIndex(t, tbl, "ideal")
+	r := rowIndex(t, tbl, map[int]string{0: "Poisson/Exp", 1: "90%"})
+	random := cellF(t, tbl, r, randomCol)
+	poll2 := cellF(t, tbl, r, poll2Col)
+	ideal := cellF(t, tbl, r, idealCol)
+	if !(poll2 < random/2) {
+		t.Errorf("poll2 %v not dramatically below random %v", poll2, random)
+	}
+	if ideal > poll2*1.1 {
+		t.Errorf("ideal %v above poll2 %v", ideal, poll2)
+	}
+}
+
+func TestUpperbound(t *testing.T) {
+	tbl, err := Upperbound(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		closed := cellF(t, tbl, r, 1)
+		series := cellF(t, tbl, r, 2)
+		sim := cellF(t, tbl, r, 3)
+		if diff := closed - series; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("row %d: closed %v vs series %v", r, closed, series)
+		}
+		if sim < closed*0.5 || sim > closed*1.3 {
+			t.Errorf("row %d: simulated %v far from bound %v", r, sim, closed)
+		}
+	}
+}
+
+func TestMessages(t *testing.T) {
+	tbl, err := Messages(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollCol := colIndex(t, tbl, "Poll3/access")
+	bcastCol := colIndex(t, tbl, "Broadcast(10ms)/access")
+	for r := range tbl.Rows {
+		// Polling: exactly 2 messages per polled server per access.
+		if v := cellF(t, tbl, r, pollCol); v != 6 {
+			t.Errorf("row %d: poll messages/access = %v, want 6", r, v)
+		}
+	}
+	// Broadcast per-access cost grows when clients triple... (2 -> 6).
+	r2 := rowIndex(t, tbl, map[int]string{0: "16", 1: "2", 2: "90%"})
+	r6 := rowIndex(t, tbl, map[int]string{0: "16", 1: "6", 2: "90%"})
+	if !(cellF(t, tbl, r6, bcastCol) > cellF(t, tbl, r2, bcastCol)) {
+		t.Error("broadcast cost did not grow with client count")
+	}
+	// ...and shrinks per access at higher load (same messages, more accesses).
+	rLow := rowIndex(t, tbl, map[int]string{0: "16", 1: "6", 2: "50%"})
+	if !(cellF(t, tbl, rLow, bcastCol) > cellF(t, tbl, r6, bcastCol)) {
+		t.Error("broadcast per-access cost not higher at lower load")
+	}
+}
+
+func TestFlocking(t *testing.T) {
+	tbl, err := Flocking(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Correction should never be dramatically worse; usually better.
+	for r := range tbl.Rows {
+		plain := cellF(t, tbl, r, 2)
+		fixed := cellF(t, tbl, r, 3)
+		if fixed > plain*1.3 {
+			t.Errorf("row %d: local correction much worse (%v vs %v)", r, fixed, plain)
+		}
+	}
+}
+
+func TestSyncAblation(t *testing.T) {
+	tbl, err := SyncAblation(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure6Prototype(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype sweep takes ~20s")
+	}
+	tbl, err := Figure6(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // 3 workloads x 1 load (quick)
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	randomCol := colIndex(t, tbl, "random")
+	poll2Col := colIndex(t, tbl, "poll 2")
+	for r := range tbl.Rows {
+		random := cellF(t, tbl, r, randomCol)
+		poll2 := cellF(t, tbl, r, poll2Col)
+		// The quick cells are short (seconds of wall time on a shared
+		// box), so allow a noise band; the paper's true effect is a
+		// 2-4x improvement, which a 20% band still distinguishes from a
+		// regression. Full-fidelity runs are recorded in EXPERIMENTS.md
+		// with strict margins.
+		if poll2 >= random*1.2 {
+			t.Errorf("row %d (%s): poll2 %v not below random %v (+20%% noise band)",
+				r, tbl.Rows[r][0], poll2, random)
+		}
+	}
+}
+
+func TestTable2Prototype(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype comparison takes ~15s")
+	}
+	tbl, err := Table2(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Discard must cut the mean polling time for every workload.
+	for r := range tbl.Rows {
+		origPoll := cellF(t, tbl, r, 2)
+		optPoll := cellF(t, tbl, r, 4)
+		if optPoll >= origPoll {
+			t.Errorf("row %d: discard did not reduce polling time (%v vs %v)", r, optPoll, origPoll)
+		}
+	}
+}
+
+func TestPollProfilePrototype(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype profile takes a few seconds")
+	}
+	tbl, err := PollProfile(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 { // quick: Poisson/Exp only
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	over10 := cellF(t, tbl, 0, 2)
+	over20 := cellF(t, tbl, 0, 3)
+	// Calibration target: paper reports 8.1% / 5.6%; accept a loose band
+	// on the quick run.
+	if over10 < 2 || over10 > 16 {
+		t.Errorf(">10ms fraction %v%% outside calibration band", over10)
+	}
+	if over20 > over10 {
+		t.Errorf(">20ms (%v%%) exceeds >10ms (%v%%)", over20, over10)
+	}
+}
+
+func TestFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover demo sleeps through soft-state expiry")
+	}
+	tbl, err := Failover(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// No errors before the crash, none after expiry.
+	if errs := cellF(t, tbl, 0, 2); errs != 0 {
+		t.Errorf("errors before crash: %v", errs)
+	}
+	if errs := cellF(t, tbl, 1, 2); errs != 0 {
+		t.Errorf("errors after failover: %v", errs)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	tbl.AddRow("plain", 1.25)
+	tbl.AddRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\nplain,1.25\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestLeastConnExperiment(t *testing.T) {
+	tbl, err := LeastConn(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	randomCol := colIndex(t, tbl, "random")
+	llCol := colIndex(t, tbl, "least-conn")
+	idealCol := colIndex(t, tbl, "ideal")
+	for r := range tbl.Rows {
+		random := cellF(t, tbl, r, randomCol)
+		ll := cellF(t, tbl, r, llCol)
+		ideal := cellF(t, tbl, r, idealCol)
+		if !(ll < random) {
+			t.Errorf("row %d: least-conn %v not below random %v", r, ll, random)
+		}
+		if ll < ideal*0.95 {
+			t.Errorf("row %d: least-conn %v below ideal %v", r, ll, ideal)
+		}
+	}
+}
+
+func TestBurstinessExperiment(t *testing.T) {
+	tbl, err := Burstiness(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 { // quick: burst x1 and x5
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	ratioCol := colIndex(t, tbl, "random/ideal")
+	calm := cellF(t, tbl, 0, ratioCol)
+	bursty := cellF(t, tbl, 1, ratioCol)
+	if bursty <= calm {
+		t.Errorf("burstiness did not widen the random/ideal gap: %v vs %v", bursty, calm)
+	}
+}

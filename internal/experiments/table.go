@@ -1,0 +1,137 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the ablations listed in DESIGN.md §3. Every
+// driver returns a Table that prints the same rows/series the paper
+// reports, so `cmd/repro <id>` regenerates any artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result: a titled grid with notes.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell: floats with %.4g,
+// everything else with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned-column text form.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Cell returns the cell at (row, col); it panics on out-of-range
+// indices, which in tests is the desired failure mode.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Quick shrinks run lengths and sweep grids so the full suite
+	// finishes in about a minute (used by tests and -quick runs).
+	// Full-scale runs match the fidelity recorded in EXPERIMENTS.md.
+	Quick bool
+	// Seed drives every random stream in the experiment.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// pick returns quick when o.Quick, else full.
+func pick[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// WriteCSV emits the table as RFC-4180-ish CSV (header then rows),
+// for plotting the figures outside Go.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package neptune is a working reconstruction of Neptune — "scalable
+// replication management and programming support for cluster-based
+// network services" (Shen et al., USITS 2001) — the infrastructure the
+// load-balancing paper is built on and explicitly continues (§3.1).
+//
+// Neptune encapsulates an application-level network service behind a
+// service access interface of RPC-like methods; each access is
+// fulfilled on one data partition; partitions are replicated across
+// nodes. This package provides:
+//
+//   - StateMachine: the per-partition application interface (mutating
+//     Apply, read-only Query, Snapshot/Restore for recovery);
+//   - Server: mounts a service's partitions on a cluster.Node and
+//     implements the replication protocols;
+//   - Client: issues writes through the replication protocol and
+//     spreads reads over replicas with any internal/core load-balancing
+//     policy — which is precisely where the paper's random polling
+//     study plugs in;
+//   - two consistency levels from the Neptune paper: Commutative
+//     (write-anywhere; the client multicasts writes to every replica)
+//     and PrimaryOrdered (writes are sequenced by the partition's
+//     primary and forwarded to the other replicas before being
+//     acknowledged);
+//   - crash recovery: a replica restores a peer's snapshot and resumes
+//     from its sequence number.
+//
+// Built-in state machines (Counter, KVStore, WordMap) cover the
+// services the paper's evaluation describes.
+package neptune
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Level selects the replication consistency protocol, after the
+// Neptune paper's consistency levels.
+type Level int
+
+const (
+	// Commutative (Neptune level 1): the client sends every write to
+	// every replica directly; the application guarantees its writes
+	// commute, so replicas converge without ordering.
+	Commutative Level = iota
+	// PrimaryOrdered (Neptune level 2): writes go to the partition's
+	// primary replica, which assigns a sequence number, applies the
+	// write, and forwards it to the secondaries before acknowledging.
+	PrimaryOrdered
+)
+
+func (l Level) String() string {
+	switch l {
+	case Commutative:
+		return "commutative"
+	case PrimaryOrdered:
+		return "primary-ordered"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// StateMachine is the application's per-partition state. Methods are
+// invoked under the partition lock: implementations need no internal
+// locking against each other, but must not retain arg slices.
+type StateMachine interface {
+	// Apply executes a mutating method and returns its result.
+	Apply(method string, arg []byte) ([]byte, error)
+	// Query executes a read-only method.
+	Query(method string, arg []byte) ([]byte, error)
+	// Snapshot serializes the full partition state for recovery.
+	Snapshot() ([]byte, error)
+	// Restore replaces the partition state with a snapshot.
+	Restore(snap []byte) error
+}
+
+// Operation codes inside the cluster request payload.
+const (
+	opQuery     = 1 // client -> any replica: read-only method
+	opWrite     = 2 // client -> replica (commutative) / primary (ordered)
+	opReplicate = 3 // primary -> secondary: sequenced write
+	opSnapshot  = 4 // recovering replica -> peer: state pull
+)
+
+// envelope is a decoded Neptune operation.
+type envelope struct {
+	op     uint8
+	seq    uint64 // opReplicate only
+	method string
+	arg    []byte
+}
+
+// encodeEnvelope serializes an envelope:
+//
+//	op(1) seq(8) methodLen(1) method argLen(4) arg
+func encodeEnvelope(e envelope) ([]byte, error) {
+	if len(e.method) > 255 {
+		return nil, fmt.Errorf("neptune: method name too long (%d)", len(e.method))
+	}
+	buf := make([]byte, 0, 14+len(e.method)+len(e.arg))
+	buf = append(buf, e.op)
+	buf = binary.LittleEndian.AppendUint64(buf, e.seq)
+	buf = append(buf, byte(len(e.method)))
+	buf = append(buf, e.method...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.arg)))
+	buf = append(buf, e.arg...)
+	return buf, nil
+}
+
+// decodeEnvelope parses what encodeEnvelope produced.
+func decodeEnvelope(p []byte) (envelope, error) {
+	var e envelope
+	if len(p) < 14 {
+		return e, fmt.Errorf("neptune: envelope too short (%d bytes)", len(p))
+	}
+	e.op = p[0]
+	e.seq = binary.LittleEndian.Uint64(p[1:9])
+	mlen := int(p[9])
+	p = p[10:]
+	if len(p) < mlen+4 {
+		return e, fmt.Errorf("neptune: truncated method field")
+	}
+	e.method = string(p[:mlen])
+	p = p[mlen:]
+	alen := binary.LittleEndian.Uint32(p[:4])
+	p = p[4:]
+	if uint32(len(p)) != alen {
+		return e, fmt.Errorf("neptune: arg length %d, have %d bytes", alen, len(p))
+	}
+	if alen > 0 {
+		e.arg = append([]byte(nil), p...)
+	}
+	return e, nil
+}
+
+// snapshotReply carries a partition snapshot plus its sequence number.
+type snapshotReply struct {
+	seq  uint64
+	data []byte
+}
+
+func encodeSnapshotReply(r snapshotReply) []byte {
+	buf := make([]byte, 0, 8+len(r.data))
+	buf = binary.LittleEndian.AppendUint64(buf, r.seq)
+	return append(buf, r.data...)
+}
+
+func decodeSnapshotReply(p []byte) (snapshotReply, error) {
+	if len(p) < 8 {
+		return snapshotReply{}, fmt.Errorf("neptune: snapshot reply too short")
+	}
+	return snapshotReply{
+		seq:  binary.LittleEndian.Uint64(p[:8]),
+		data: append([]byte(nil), p[8:]...),
+	}, nil
+}

@@ -1,0 +1,359 @@
+package neptune
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+)
+
+// startService boots n replicas of one service hosting the given
+// partitions, all registered in a fresh directory.
+func startService(t *testing.T, n int, level Level, parts []uint32,
+	factory func(uint32) StateMachine) (*cluster.Directory, []*Server) {
+	t.Helper()
+	dir := cluster.NewDirectory(time.Minute)
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		s, err := StartServer(ServerConfig{
+			NodeID: i, Service: "svc", Partitions: parts,
+			Factory: factory, Level: level, Directory: dir,
+			Seed: uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		t.Cleanup(func() { s.Close() })
+	}
+	return dir, servers
+}
+
+func newNeptuneClient(t *testing.T, dir *cluster.Directory, level Level) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{
+		Directory: dir, Service: "svc", Level: level,
+		ReadPolicy: core.NewPoll(2), Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerValidation(t *testing.T) {
+	dir := cluster.NewDirectory(time.Minute)
+	factory := func(uint32) StateMachine { return NewCounter() }
+	bad := []ServerConfig{
+		{},
+		{Service: "s", Partitions: []uint32{0}, Directory: dir},                      // no factory
+		{Service: "s", Partitions: []uint32{0}, Factory: factory},                    // no directory
+		{Service: "s", Factory: factory, Directory: dir},                             // no partitions
+		{Partitions: []uint32{0}, Factory: factory, Directory: dir},                  // no name
+		{Service: "s", Partitions: []uint32{1, 1}, Factory: factory, Directory: dir}, // dup
+	}
+	for i, cfg := range bad {
+		if _, err := StartServer(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestClientValidationNeptune(t *testing.T) {
+	if _, err := NewClient(ClientConfig{Service: "s"}); err == nil {
+		t.Error("client without directory accepted")
+	}
+	if _, err := NewClient(ClientConfig{Directory: cluster.NewDirectory(0)}); err == nil {
+		t.Error("client without service accepted")
+	}
+}
+
+func TestCommutativeCounterReplication(t *testing.T) {
+	dir, servers := startService(t, 3, Commutative, []uint32{0},
+		func(uint32) StateMachine { return NewCounter() })
+	c := newNeptuneClient(t, dir, Commutative)
+
+	// Concurrent commutative adds from many goroutines.
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 10
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if _, err := c.Write(0, "add", EncodeInt64(1), 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every replica must hold the same total.
+	caller := cluster.NewCaller(0)
+	defer caller.Close()
+	q, _ := encodeEnvelope(envelope{op: opQuery, method: "sum"})
+	for i, s := range servers {
+		resp, err := caller.Call(s.Endpoint(), "svc", 0, 0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := DecodeInt64(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != writers*perWriter {
+			t.Errorf("replica %d sum = %d, want %d", i, v, writers*perWriter)
+		}
+	}
+
+	// A balanced query agrees.
+	out, err := c.Query(0, "sum", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := DecodeInt64(out); v != writers*perWriter {
+		t.Fatalf("balanced sum = %d", v)
+	}
+}
+
+func TestPrimaryOrderedKVReplication(t *testing.T) {
+	dir, servers := startService(t, 3, PrimaryOrdered, []uint32{0},
+		func(uint32) StateMachine { return NewKVStore() })
+	c := newNeptuneClient(t, dir, PrimaryOrdered)
+
+	// Concurrent overwrites of the same key: ordering matters; after
+	// the dust settles all replicas agree on one value and one seq.
+	var wg sync.WaitGroup
+	const writers = 6
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val := []byte{byte('a' + i)}
+			if _, err := c.Write(0, "put", EncodeKV("key", val), 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	caller := cluster.NewCaller(0)
+	defer caller.Close()
+	q, _ := encodeEnvelope(envelope{op: opQuery, method: "get", arg: []byte("key")})
+	var vals []string
+	for _, s := range servers {
+		resp, err := caller.Call(s.Endpoint(), "svc", 0, 0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != cluster.StatusOK {
+			t.Fatalf("replica query status %d: %s", resp.Status, resp.Payload)
+		}
+		vals = append(vals, string(resp.Payload))
+	}
+	if vals[0] != vals[1] || vals[1] != vals[2] {
+		t.Fatalf("replicas diverged: %q", vals)
+	}
+	// Sequence numbers converged too.
+	want, err := servers[0].AppliedSeq(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != writers {
+		t.Fatalf("primary applied %d writes, want %d", want, writers)
+	}
+	for i, s := range servers[1:] {
+		got, err := s.AppliedSeq(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replica %d applied seq %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestPrimaryRejectsWriteAtSecondary(t *testing.T) {
+	_, servers := startService(t, 2, PrimaryOrdered, []uint32{0},
+		func(uint32) StateMachine { return NewKVStore() })
+	caller := cluster.NewCaller(0)
+	defer caller.Close()
+	w, _ := encodeEnvelope(envelope{op: opWrite, method: "put", arg: EncodeKV("k", []byte("v"))})
+	// Node 1 is a secondary (node 0 is the lowest id): it must refuse.
+	resp, err := caller.Call(servers[1].Endpoint(), "svc", 0, 0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != cluster.StatusAppError {
+		t.Fatalf("secondary accepted a client write: status %d", resp.Status)
+	}
+}
+
+func TestReplicateOutOfOrderBuffered(t *testing.T) {
+	// Drive a bare replica directly with shuffled sequence numbers; it
+	// must buffer and apply in order.
+	dir := cluster.NewDirectory(time.Minute)
+	s, err := StartServer(ServerConfig{
+		NodeID: 5, Service: "svc", Partitions: []uint32{0},
+		Factory:   func(uint32) StateMachine { return NewKVStore() },
+		Level:     PrimaryOrdered,
+		Directory: dir, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	caller := cluster.NewCaller(0)
+	defer caller.Close()
+
+	send := func(seq uint64, val string) {
+		t.Helper()
+		env := envelope{op: opReplicate, seq: seq, method: "put", arg: EncodeKV("k", []byte(val))}
+		payload, _ := encodeEnvelope(env)
+		resp, err := caller.Call(s.Endpoint(), "svc", 0, 0, payload)
+		if err != nil || resp.Status != cluster.StatusOK {
+			t.Fatalf("replicate seq %d: %v status %d", seq, err, resp.Status)
+		}
+	}
+	send(3, "third")  // buffered
+	send(2, "second") // buffered
+	if got, _ := s.AppliedSeq(0); got != 0 {
+		t.Fatalf("applied %d before gap filled", got)
+	}
+	send(1, "first") // fills the gap; drains 2 and 3
+	if got, _ := s.AppliedSeq(0); got != 3 {
+		t.Fatalf("applied seq %d, want 3", got)
+	}
+	// Final value is from seq 3.
+	q, _ := encodeEnvelope(envelope{op: opQuery, method: "get", arg: []byte("k")})
+	resp, err := caller.Call(s.Endpoint(), "svc", 0, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "third" {
+		t.Fatalf("final value %q", resp.Payload)
+	}
+	// Duplicate delivery is idempotent.
+	send(2, "stale")
+	resp, _ = caller.Call(s.Endpoint(), "svc", 0, 0, q)
+	if string(resp.Payload) != "third" {
+		t.Fatalf("duplicate overwrote: %q", resp.Payload)
+	}
+}
+
+func TestRecoveryResync(t *testing.T) {
+	dir, servers := startService(t, 2, PrimaryOrdered, []uint32{0, 1},
+		func(uint32) StateMachine { return NewKVStore() })
+	c := newNeptuneClient(t, dir, PrimaryOrdered)
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}} {
+		if _, err := c.Write(0, "put", EncodeKV(kv[0], []byte(kv[1])), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(1, "put", EncodeKV(kv[0], []byte(kv[1]+"x")), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A brand-new replica joins empty and resyncs from the primary.
+	joined, err := StartServer(ServerConfig{
+		NodeID: 9, Service: "svc", Partitions: []uint32{0, 1},
+		Factory:   func(uint32) StateMachine { return NewKVStore() },
+		Level:     PrimaryOrdered,
+		Directory: dir, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joined.Close()
+	if err := joined.ResyncFrom(servers[0].Endpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	caller := cluster.NewCaller(0)
+	defer caller.Close()
+	for part, want := range map[uint32]string{0: "1", 1: "1x"} {
+		q, _ := encodeEnvelope(envelope{op: opQuery, method: "get", arg: []byte("a")})
+		resp, err := caller.Call(joined.Endpoint(), "svc", part, 0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != cluster.StatusOK || string(resp.Payload) != want {
+			t.Fatalf("partition %d after resync: status %d payload %q want %q",
+				part, resp.Status, resp.Payload, want)
+		}
+		seq, err := joined.AppliedSeq(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 2 {
+			t.Fatalf("partition %d resynced seq %d, want 2", part, seq)
+		}
+	}
+}
+
+func TestQueriesAreLoadBalanced(t *testing.T) {
+	dir, servers := startService(t, 4, Commutative, []uint32{0},
+		func(uint32) StateMachine { return NewWordMap() })
+	c := newNeptuneClient(t, dir, Commutative)
+	for i := 0; i < 60; i++ {
+		out, err := c.Query(0, "translate", []byte("boston"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 8 {
+			t.Fatalf("translate returned %d bytes", len(out))
+		}
+	}
+	// The polling read policy must have spread queries across replicas.
+	hit := 0
+	for _, s := range servers {
+		if s.Node().Stats().Served > 0 {
+			hit++
+		}
+	}
+	if hit < 2 {
+		t.Fatalf("queries hit only %d/4 replicas", hit)
+	}
+}
+
+func TestUnknownPartitionAndMethod(t *testing.T) {
+	dir, _ := startService(t, 1, Commutative, []uint32{0},
+		func(uint32) StateMachine { return NewCounter() })
+	c := newNeptuneClient(t, dir, Commutative)
+	if _, err := c.Query(0, "bogus", nil, 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := c.Write(99, "add", EncodeInt64(1), 0); err == nil {
+		t.Error("write to unhosted partition accepted")
+	}
+}
+
+func TestEmulateServiceUs(t *testing.T) {
+	dir := cluster.NewDirectory(time.Minute)
+	s, err := StartServer(ServerConfig{
+		NodeID: 0, Service: "svc", Partitions: []uint32{0},
+		Factory:          func(uint32) StateMachine { return NewCounter() },
+		Level:            Commutative,
+		Directory:        dir,
+		EmulateServiceUs: true,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := newNeptuneClient(t, dir, Commutative)
+	start := time.Now()
+	if _, err := c.Query(0, "sum", nil, 50000); err != nil { // 50 ms of emulated work
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Fatalf("emulated service time not honoured: %v", d)
+	}
+}

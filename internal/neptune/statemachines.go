@@ -1,0 +1,330 @@
+package neptune
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Counter is a commutative-write state machine: a 64-bit accumulator.
+//
+// Methods:
+//
+//	Apply "add"  arg = int64 little-endian delta  -> new value (8 bytes)
+//	Query "sum"  arg ignored                      -> value (8 bytes)
+//
+// Additions commute, so Counter is safe under the Commutative level.
+type Counter struct {
+	mu  sync.Mutex
+	sum int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Apply implements StateMachine.
+func (c *Counter) Apply(method string, arg []byte) ([]byte, error) {
+	if method != "add" {
+		return nil, fmt.Errorf("counter: unknown write method %q", method)
+	}
+	if len(arg) != 8 {
+		return nil, fmt.Errorf("counter: add needs an 8-byte delta")
+	}
+	delta := int64(binary.LittleEndian.Uint64(arg))
+	c.mu.Lock()
+	c.sum += delta
+	v := c.sum
+	c.mu.Unlock()
+	return EncodeInt64(v), nil
+}
+
+// Query implements StateMachine.
+func (c *Counter) Query(method string, arg []byte) ([]byte, error) {
+	if method != "sum" {
+		return nil, fmt.Errorf("counter: unknown query method %q", method)
+	}
+	c.mu.Lock()
+	v := c.sum
+	c.mu.Unlock()
+	return EncodeInt64(v), nil
+}
+
+// Snapshot implements StateMachine.
+func (c *Counter) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EncodeInt64(c.sum), nil
+}
+
+// Restore implements StateMachine.
+func (c *Counter) Restore(snap []byte) error {
+	if len(snap) != 8 {
+		return fmt.Errorf("counter: bad snapshot length %d", len(snap))
+	}
+	c.mu.Lock()
+	c.sum = int64(binary.LittleEndian.Uint64(snap))
+	c.mu.Unlock()
+	return nil
+}
+
+// EncodeInt64 serializes v little-endian (helper for Counter users).
+func EncodeInt64(v int64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, uint64(v))
+}
+
+// DecodeInt64 parses what EncodeInt64 produced.
+func DecodeInt64(p []byte) (int64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("neptune: want 8 bytes, got %d", len(p))
+	}
+	return int64(binary.LittleEndian.Uint64(p)), nil
+}
+
+// KVStore is a byte-string key/value store whose writes do NOT commute
+// (put overwrites), so it requires the PrimaryOrdered level.
+//
+// Methods:
+//
+//	Apply "put"    arg = kv pair      -> previous value (may be empty)
+//	Apply "delete" arg = key          -> previous value
+//	Query "get"    arg = key          -> value (error when absent)
+//	Query "has"    arg = key          -> 1 byte: 0 or 1
+//	Query "len"    arg ignored        -> count (8 bytes)
+type KVStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore { return &KVStore{m: make(map[string][]byte)} }
+
+// EncodeKV serializes a key/value pair for "put".
+func EncodeKV(key string, value []byte) []byte {
+	buf := make([]byte, 0, 2+len(key)+len(value))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	return append(buf, value...)
+}
+
+// DecodeKV parses what EncodeKV produced.
+func DecodeKV(p []byte) (key string, value []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("neptune: kv pair too short")
+	}
+	klen := int(binary.LittleEndian.Uint16(p[:2]))
+	if len(p) < 2+klen {
+		return "", nil, fmt.Errorf("neptune: kv pair truncated")
+	}
+	return string(p[2 : 2+klen]), append([]byte(nil), p[2+klen:]...), nil
+}
+
+// Apply implements StateMachine.
+func (s *KVStore) Apply(method string, arg []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "put":
+		key, value, err := DecodeKV(arg)
+		if err != nil {
+			return nil, err
+		}
+		prev := s.m[key]
+		s.m[key] = value
+		return prev, nil
+	case "delete":
+		key := string(arg)
+		prev := s.m[key]
+		delete(s.m, key)
+		return prev, nil
+	default:
+		return nil, fmt.Errorf("kv: unknown write method %q", method)
+	}
+}
+
+// Query implements StateMachine.
+func (s *KVStore) Query(method string, arg []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "get":
+		v, ok := s.m[string(arg)]
+		if !ok {
+			return nil, fmt.Errorf("kv: no such key %q", arg)
+		}
+		return append([]byte(nil), v...), nil
+	case "has":
+		if _, ok := s.m[string(arg)]; ok {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case "len":
+		return EncodeInt64(int64(len(s.m))), nil
+	default:
+		return nil, fmt.Errorf("kv: unknown query method %q", method)
+	}
+}
+
+// Snapshot implements StateMachine: a sorted, length-prefixed dump.
+func (s *KVStore) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	count := binary.LittleEndian.AppendUint64(nil, uint64(len(keys)))
+	buf.Write(count)
+	for _, k := range keys {
+		v := s.m[k]
+		buf.Write(binary.LittleEndian.AppendUint16(nil, uint16(len(k))))
+		buf.WriteString(k)
+		buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(v))))
+		buf.Write(v)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements StateMachine.
+func (s *KVStore) Restore(snap []byte) error {
+	if len(snap) < 8 {
+		return fmt.Errorf("kv: snapshot too short")
+	}
+	count := binary.LittleEndian.Uint64(snap[:8])
+	p := snap[8:]
+	m := make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 2 {
+			return fmt.Errorf("kv: snapshot truncated (key length)")
+		}
+		klen := int(binary.LittleEndian.Uint16(p[:2]))
+		p = p[2:]
+		if len(p) < klen+4 {
+			return fmt.Errorf("kv: snapshot truncated (key)")
+		}
+		k := string(p[:klen])
+		p = p[klen:]
+		vlen := int(binary.LittleEndian.Uint32(p[:4]))
+		p = p[4:]
+		if len(p) < vlen {
+			return fmt.Errorf("kv: snapshot truncated (value)")
+		}
+		m[k] = append([]byte(nil), p[:vlen]...)
+		p = p[vlen:]
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("kv: %d trailing snapshot bytes", len(p))
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+	return nil
+}
+
+// WordMap is the paper's motivating fine-grain service: the translation
+// between query words and their internal representations (a stable
+// 64-bit id). Translations are derived deterministically from the word,
+// so the map is append-only and its writes commute — the service the
+// Fine-Grain trace was recorded from is exactly this shape.
+//
+// Methods:
+//
+//	Query "translate" arg = word  -> 8-byte id (registers it on miss? no:
+//	                                 read-only; unknown words still map
+//	                                 deterministically)
+//	Apply "learn"     arg = word  -> 8-byte id (records the word)
+//	Query "count"                 -> number of learned words (8 bytes)
+type WordMap struct {
+	mu    sync.Mutex
+	known map[string]uint64
+}
+
+// NewWordMap returns an empty word map.
+func NewWordMap() *WordMap { return &WordMap{known: make(map[string]uint64)} }
+
+// WordID returns the stable internal representation of a word.
+func WordID(word string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(word))
+	return h.Sum64()
+}
+
+// Apply implements StateMachine.
+func (w *WordMap) Apply(method string, arg []byte) ([]byte, error) {
+	if method != "learn" {
+		return nil, fmt.Errorf("wordmap: unknown write method %q", method)
+	}
+	word := string(arg)
+	id := WordID(word)
+	w.mu.Lock()
+	w.known[word] = id
+	w.mu.Unlock()
+	return binary.LittleEndian.AppendUint64(nil, id), nil
+}
+
+// Query implements StateMachine.
+func (w *WordMap) Query(method string, arg []byte) ([]byte, error) {
+	switch method {
+	case "translate":
+		return binary.LittleEndian.AppendUint64(nil, WordID(string(arg))), nil
+	case "count":
+		w.mu.Lock()
+		n := int64(len(w.known))
+		w.mu.Unlock()
+		return EncodeInt64(n), nil
+	default:
+		return nil, fmt.Errorf("wordmap: unknown query method %q", method)
+	}
+}
+
+// Snapshot implements StateMachine (words only; ids are derived).
+func (w *WordMap) Snapshot() ([]byte, error) {
+	w.mu.Lock()
+	words := make([]string, 0, len(w.known))
+	for word := range w.known {
+		words = append(words, word)
+	}
+	w.mu.Unlock()
+	sort.Strings(words)
+	var buf bytes.Buffer
+	buf.Write(binary.LittleEndian.AppendUint64(nil, uint64(len(words))))
+	for _, word := range words {
+		buf.Write(binary.LittleEndian.AppendUint16(nil, uint16(len(word))))
+		buf.WriteString(word)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements StateMachine.
+func (w *WordMap) Restore(snap []byte) error {
+	if len(snap) < 8 {
+		return fmt.Errorf("wordmap: snapshot too short")
+	}
+	count := binary.LittleEndian.Uint64(snap[:8])
+	p := snap[8:]
+	known := make(map[string]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 2 {
+			return fmt.Errorf("wordmap: snapshot truncated")
+		}
+		wlen := int(binary.LittleEndian.Uint16(p[:2]))
+		p = p[2:]
+		if len(p) < wlen {
+			return fmt.Errorf("wordmap: snapshot truncated")
+		}
+		word := string(p[:wlen])
+		p = p[wlen:]
+		known[word] = WordID(word)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wordmap: %d trailing snapshot bytes", len(p))
+	}
+	w.mu.Lock()
+	w.known = known
+	w.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,335 @@
+package neptune
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAddSum(t *testing.T) {
+	c := NewCounter()
+	out, err := c.Apply("add", EncodeInt64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := DecodeInt64(out); v != 5 {
+		t.Fatalf("add returned %d", v)
+	}
+	if _, err := c.Apply("add", EncodeInt64(-2)); err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Query("sum", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := DecodeInt64(out); v != 3 {
+		t.Fatalf("sum = %d", v)
+	}
+}
+
+func TestCounterErrors(t *testing.T) {
+	c := NewCounter()
+	if _, err := c.Apply("nope", nil); err == nil {
+		t.Error("unknown write accepted")
+	}
+	if _, err := c.Apply("add", []byte{1}); err == nil {
+		t.Error("short delta accepted")
+	}
+	if _, err := c.Query("nope", nil); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if err := c.Restore([]byte{1, 2}); err == nil {
+		t.Error("bad snapshot accepted")
+	}
+}
+
+func TestCounterSnapshotRoundTrip(t *testing.T) {
+	c := NewCounter()
+	_, _ = c.Apply("add", EncodeInt64(41))
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCounter()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := fresh.Query("sum", nil)
+	if v, _ := DecodeInt64(out); v != 41 {
+		t.Fatalf("restored sum = %d", v)
+	}
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	kv := NewKVStore()
+	prev, err := kv.Apply("put", EncodeKV("a", []byte("1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev) != 0 {
+		t.Fatalf("previous value %q for fresh key", prev)
+	}
+	prev, err = kv.Apply("put", EncodeKV("a", []byte("2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prev) != "1" {
+		t.Fatalf("previous = %q", prev)
+	}
+	got, err := kv.Query("get", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "2" {
+		t.Fatalf("get = %q", got)
+	}
+	if has, _ := kv.Query("has", []byte("a")); has[0] != 1 {
+		t.Fatal("has = 0")
+	}
+	if n, _ := kv.Query("len", nil); func() int64 { v, _ := DecodeInt64(n); return v }() != 1 {
+		t.Fatal("len != 1")
+	}
+	if _, err := kv.Apply("delete", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Query("get", []byte("a")); err == nil {
+		t.Fatal("get of deleted key succeeded")
+	}
+	if has, _ := kv.Query("has", []byte("a")); has[0] != 0 {
+		t.Fatal("has after delete = 1")
+	}
+}
+
+func TestKVStoreErrors(t *testing.T) {
+	kv := NewKVStore()
+	if _, err := kv.Apply("nope", nil); err == nil {
+		t.Error("unknown write accepted")
+	}
+	if _, err := kv.Query("nope", nil); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if _, err := kv.Apply("put", []byte{0}); err == nil {
+		t.Error("truncated kv pair accepted")
+	}
+	if err := kv.Restore([]byte{1}); err == nil {
+		t.Error("bad snapshot accepted")
+	}
+}
+
+func TestKVSnapshotRoundTrip(t *testing.T) {
+	kv := NewKVStore()
+	pairs := map[string]string{"alpha": "1", "beta": "22", "gamma": "", "": "empty-key"}
+	for k, v := range pairs {
+		if _, err := kv.Apply("put", EncodeKV(k, []byte(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewKVStore()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range pairs {
+		got, err := fresh.Query("get", []byte(k))
+		if err != nil {
+			t.Fatalf("get %q: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("get %q = %q, want %q", k, got, v)
+		}
+	}
+}
+
+func TestEncodeDecodeKV(t *testing.T) {
+	k, v, err := DecodeKV(EncodeKV("key", []byte("value")))
+	if err != nil || k != "key" || string(v) != "value" {
+		t.Fatalf("round trip: %q %q %v", k, v, err)
+	}
+	if _, _, err := DecodeKV(nil); err == nil {
+		t.Fatal("nil pair accepted")
+	}
+}
+
+func TestWordMap(t *testing.T) {
+	w := NewWordMap()
+	id1, err := w.Query("translate", []byte("boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := w.Query("translate", []byte("boston"))
+	if !bytes.Equal(id1, id2) {
+		t.Fatal("translation not stable")
+	}
+	id3, _ := w.Query("translate", []byte("chicago"))
+	if bytes.Equal(id1, id3) {
+		t.Fatal("distinct words collided")
+	}
+	learned, err := w.Apply("learn", []byte("boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(learned, id1) {
+		t.Fatal("learn returned different id")
+	}
+	n, _ := w.Query("count", nil)
+	if v, _ := DecodeInt64(n); v != 1 {
+		t.Fatalf("count = %d", v)
+	}
+}
+
+func TestWordMapSnapshotRoundTrip(t *testing.T) {
+	w := NewWordMap()
+	for _, word := range []string{"a", "bb", "ccc"} {
+		if _, err := w.Apply("learn", []byte(word)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWordMap()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := fresh.Query("count", nil)
+	if v, _ := DecodeInt64(n); v != 3 {
+		t.Fatalf("restored count = %d", v)
+	}
+}
+
+// Property: KV snapshot/restore round-trips arbitrary contents.
+func TestQuickKVSnapshotRoundTrip(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		kv := NewKVStore()
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		want := map[string][]byte{}
+		for i := 0; i < n; i++ {
+			if len(keys[i]) > 65535 {
+				continue
+			}
+			if _, err := kv.Apply("put", EncodeKV(keys[i], vals[i])); err != nil {
+				return false
+			}
+			want[keys[i]] = vals[i]
+		}
+		snap, err := kv.Snapshot()
+		if err != nil {
+			return false
+		}
+		fresh := NewKVStore()
+		if err := fresh.Restore(snap); err != nil {
+			return false
+		}
+		for k, v := range want {
+			got, err := fresh.Query("get", []byte(k))
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		lenOut, _ := fresh.Query("len", nil)
+		gotLen, _ := DecodeInt64(lenOut)
+		return gotLen == int64(len(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counter adds commute — any permutation of the same deltas
+// yields the same sum (the Commutative-level requirement).
+func TestQuickCounterCommutes(t *testing.T) {
+	f := func(deltas []int32, swap uint8) bool {
+		a := NewCounter()
+		b := NewCounter()
+		for _, d := range deltas {
+			_, _ = a.Apply("add", EncodeInt64(int64(d)))
+		}
+		// Apply in reverse order to b.
+		for i := len(deltas) - 1; i >= 0; i-- {
+			_, _ = b.Apply("add", EncodeInt64(int64(deltas[i])))
+		}
+		sa, _ := a.Query("sum", nil)
+		sb, _ := b.Query("sum", nil)
+		return bytes.Equal(sa, sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: envelope encoding round-trips.
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(op uint8, seq uint64, method string, arg []byte) bool {
+		if len(method) > 255 {
+			return true
+		}
+		in := envelope{op: op, seq: seq, method: method, arg: arg}
+		buf, err := encodeEnvelope(in)
+		if err != nil {
+			return false
+		}
+		out, err := decodeEnvelope(buf)
+		if err != nil {
+			return false
+		}
+		return out.op == in.op && out.seq == in.seq && out.method == in.method &&
+			bytes.Equal(out.arg, in.arg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	if _, err := decodeEnvelope(nil); err == nil {
+		t.Error("nil envelope accepted")
+	}
+	buf, _ := encodeEnvelope(envelope{op: opQuery, method: "m", arg: []byte("xyz")})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := decodeEnvelope(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func BenchmarkEnvelopeRoundTrip(b *testing.B) {
+	env := envelope{op: opWrite, seq: 42, method: "put", arg: EncodeKV("key", []byte("value"))}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := encodeEnvelope(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeEnvelope(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStorePut(b *testing.B) {
+	kv := NewKVStore()
+	arg := EncodeKV("key", []byte("value"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := kv.Apply("put", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordMapTranslate(b *testing.B) {
+	w := NewWordMap()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Query("translate", []byte("anchorage")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

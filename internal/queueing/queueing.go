@@ -1,0 +1,176 @@
+// Package queueing provides the closed-form queueing-theory results the
+// paper relies on: M/M/1 response time and queue-length distribution,
+// Erlang-C (M/M/c) delay, the Kingman (M/G/1 and G/G/1) approximations
+// used to sanity-check trace-driven runs, and the paper's Equation 1 —
+// the upper bound on load-index inaccuracy for a Poisson/Exp workload.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1MeanResponse returns the mean response time (wait + service) of an
+// M/M/1 queue with mean service time s and utilization rho in [0, 1).
+func MM1MeanResponse(s, rho float64) float64 {
+	checkRho(rho)
+	return s / (1 - rho)
+}
+
+// MM1MeanQueueLength returns the mean number in system (queued plus in
+// service) of an M/M/1 queue at utilization rho.
+func MM1MeanQueueLength(rho float64) float64 {
+	checkRho(rho)
+	return rho / (1 - rho)
+}
+
+// MM1QueueLengthPMF returns P(N = k) for an M/M/1 queue at utilization
+// rho: (1-rho) rho^k.
+func MM1QueueLengthPMF(rho float64, k int) float64 {
+	checkRho(rho)
+	if k < 0 {
+		return 0
+	}
+	return (1 - rho) * math.Pow(rho, float64(k))
+}
+
+// StalenessUpperBound is the paper's Equation 1: the statistical mean of
+// the queue-length difference measured at two arbitrary, independent
+// times for a single M/M/1 server at utilization rho,
+//
+//	sum_{i,j>=0} (1-rho)^2 rho^{i+j} |i-j|  =  2 rho / (1 - rho^2).
+//
+// It upper-bounds the load-index inaccuracy at any dissemination delay,
+// assuming inaccuracy grows monotonically with delay.
+func StalenessUpperBound(rho float64) float64 {
+	checkRho(rho)
+	return 2 * rho / (1 - rho*rho)
+}
+
+// StalenessUpperBoundSeries evaluates Equation 1 by direct summation of
+// the double series, truncated when terms fall below eps. It exists to
+// validate the closed form and the paper's derivation.
+func StalenessUpperBoundSeries(rho float64, eps float64) float64 {
+	checkRho(rho)
+	if rho == 0 {
+		return 0
+	}
+	p := func(k int) float64 { return (1 - rho) * math.Pow(rho, float64(k)) }
+	total := 0.0
+	for i := 0; ; i++ {
+		pi := p(i)
+		rowMax := pi // bound on the largest remaining row contribution factor
+		row := 0.0
+		for j := 0; ; j++ {
+			term := pi * p(j) * math.Abs(float64(i-j))
+			row += term
+			// Terms decay geometrically in j once j > i.
+			if j > i && term < eps*1e-3 {
+				break
+			}
+		}
+		total += row
+		if i > 0 && rowMax*MM1MeanQueueLength(rho) < eps*1e-3 && row < eps {
+			break
+		}
+		if i > 100000 {
+			break
+		}
+	}
+	return total
+}
+
+// ErlangC returns the probability that an arriving job waits in an
+// M/M/c system with offered load a = lambda/mu (in Erlangs) and c
+// servers. Requires a < c.
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		panic("queueing: ErlangC with c <= 0")
+	}
+	if a < 0 || a >= float64(c) {
+		panic(fmt.Sprintf("queueing: ErlangC offered load %v out of [0, c=%d)", a, c))
+	}
+	// Iterative Erlang-B then convert, numerically stable for large c.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// MMcMeanResponse returns the mean response time of an M/M/c queue with
+// per-server mean service time s, arrival rate lambda, and c servers.
+func MMcMeanResponse(c int, lambda, s float64) float64 {
+	a := lambda * s
+	pWait := ErlangC(c, a)
+	mu := 1 / s
+	wq := pWait / (float64(c)*mu - lambda)
+	return wq + s
+}
+
+// KingmanWait returns the G/G/1 mean waiting-time approximation
+//
+//	W ≈ (rho/(1-rho)) * ((ca^2 + cs^2)/2) * s
+//
+// with arrival-interval CV ca, service-time CV cs, utilization rho, and
+// mean service time s. Exact for M/G/1 (ca = 1, Pollaczek–Khinchine).
+func KingmanWait(rho, ca, cs, s float64) float64 {
+	checkRho(rho)
+	return rho / (1 - rho) * (ca*ca + cs*cs) / 2 * s
+}
+
+// PowerOfDMeanQueue returns the asymptotic (N -> infinity) mean queue
+// length of the supermarket model: Poisson arrivals at rate rho per
+// server, exponential service, each job joining the shortest of d
+// uniformly sampled queues (Mitzenmacher 1996):
+//
+//	E[N] = sum_{i>=1} rho^{(d^i - 1)/(d - 1)}.
+//
+// d = 1 reduces to M/M/1. The paper's poll-size discussion (§2.3) rests
+// on this result: d = 2 is exponentially better than d = 1, while
+// d > 2 adds little.
+func PowerOfDMeanQueue(rho float64, d int) float64 {
+	checkRho(rho)
+	if d < 1 {
+		panic("queueing: PowerOfDMeanQueue with d < 1")
+	}
+	if d == 1 {
+		return MM1MeanQueueLength(rho)
+	}
+	total := 0.0
+	for i := 1; ; i++ {
+		exp := (math.Pow(float64(d), float64(i)) - 1) / float64(d-1)
+		term := math.Pow(rho, exp)
+		total += term
+		if term < 1e-15 || i > 64 {
+			break
+		}
+	}
+	return total
+}
+
+// PowerOfDMeanResponse converts PowerOfDMeanQueue to a mean response
+// time via Little's law at per-server arrival rate rho/s.
+func PowerOfDMeanResponse(rho float64, d int, s float64) float64 {
+	if rho == 0 {
+		return s
+	}
+	return PowerOfDMeanQueue(rho, d) * s / rho
+}
+
+func checkRho(rho float64) {
+	if rho < 0 || rho >= 1 || math.IsNaN(rho) {
+		panic(fmt.Sprintf("queueing: utilization %v out of [0, 1)", rho))
+	}
+}
+
+// AllenCunneenWait returns the Allen-Cunneen G/G/c mean waiting-time
+// approximation: the M/M/c wait scaled by (ca^2 + cs^2)/2, with
+// per-server mean service time s, arrival rate lambda, c servers, and
+// arrival/service CVs ca and cs. It generalizes KingmanWait to a pooled
+// multi-server station and sanity-checks the 16-server trace runs.
+func AllenCunneenWait(c int, lambda, s, ca, cs float64) float64 {
+	mmcWait := MMcMeanResponse(c, lambda, s) - s
+	return mmcWait * (ca*ca + cs*cs) / 2
+}

@@ -1,0 +1,236 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b))
+}
+
+func TestMM1MeanResponse(t *testing.T) {
+	// 50 ms service at 90% -> 500 ms.
+	if got := MM1MeanResponse(0.050, 0.9); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("MM1MeanResponse = %v", got)
+	}
+	if got := MM1MeanResponse(1, 0); got != 1 {
+		t.Fatalf("idle MM1 response = %v", got)
+	}
+}
+
+func TestMM1MeanQueueLength(t *testing.T) {
+	if got := MM1MeanQueueLength(0.5); !almost(got, 1, 1e-12) {
+		t.Fatalf("L(0.5) = %v", got)
+	}
+	if got := MM1MeanQueueLength(0.9); !almost(got, 9, 1e-12) {
+		t.Fatalf("L(0.9) = %v", got)
+	}
+}
+
+func TestMM1PMFSumsToOne(t *testing.T) {
+	for _, rho := range []float64{0, 0.3, 0.5, 0.9, 0.99} {
+		sum := 0.0
+		for k := 0; k < 10000; k++ {
+			sum += MM1QueueLengthPMF(rho, k)
+		}
+		if !almost(sum, 1, 1e-6) {
+			t.Errorf("PMF(rho=%v) sums to %v", rho, sum)
+		}
+	}
+	if MM1QueueLengthPMF(0.5, -1) != 0 {
+		t.Error("PMF(k<0) != 0")
+	}
+}
+
+func TestStalenessUpperBoundPaperValues(t *testing.T) {
+	// The paper quotes 1.33 for a 50%-busy server...
+	if got := StalenessUpperBound(0.5); !almost(got, 4.0/3.0, 1e-12) {
+		t.Fatalf("bound(0.5) = %v, want 1.333", got)
+	}
+	// ...and "an error of around 3" near the 90% bound (2*0.9/0.19 = 9.47
+	// is the asymptote; the ~3 in the text is at delay ~10x service time,
+	// not the asymptote). Check the closed form itself:
+	if got := StalenessUpperBound(0.9); !almost(got, 2*0.9/(1-0.81), 1e-12) {
+		t.Fatalf("bound(0.9) = %v", got)
+	}
+}
+
+func TestStalenessSeriesMatchesClosedForm(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		series := StalenessUpperBoundSeries(rho, 1e-12)
+		closed := StalenessUpperBound(rho)
+		if !almost(series, closed, 1e-6) {
+			t.Errorf("rho=%v: series %v vs closed %v", rho, series, closed)
+		}
+	}
+	if got := StalenessUpperBoundSeries(0, 1e-12); got != 0 {
+		t.Errorf("series(0) = %v", got)
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// c=1 reduces to rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); !almost(got, rho, 1e-12) {
+			t.Errorf("ErlangC(1, %v) = %v", rho, got)
+		}
+	}
+	// Textbook value: c=2, a=1 -> P(wait) = 1/3.
+	if got := ErlangC(2, 1); !almost(got, 1.0/3.0, 1e-9) {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", got)
+	}
+	// Probability must be in [0,1] and increasing in load.
+	prev := 0.0
+	for _, a := range []float64{1, 4, 8, 12, 15} {
+		p := ErlangC(16, a)
+		if p < prev || p < 0 || p > 1 {
+			t.Errorf("ErlangC(16, %v) = %v not monotone in [0,1]", a, p)
+		}
+		prev = p
+	}
+}
+
+func TestMMcMeanResponse(t *testing.T) {
+	// c=1 must agree with M/M/1.
+	s, rho := 0.05, 0.8
+	if got, want := MMcMeanResponse(1, rho/s, s), MM1MeanResponse(s, rho); !almost(got, want, 1e-9) {
+		t.Fatalf("MMc(c=1) = %v, want %v", got, want)
+	}
+	// A 16-server pooled system responds far faster than 16 separate
+	// M/M/1s at the same per-server load.
+	pooled := MMcMeanResponse(16, 16*0.9/s, s)
+	single := MM1MeanResponse(s, 0.9)
+	if pooled >= single {
+		t.Fatalf("pooling slower than single: %v >= %v", pooled, single)
+	}
+	if pooled < s {
+		t.Fatalf("response below service time: %v", pooled)
+	}
+}
+
+func TestKingmanMG1Exact(t *testing.T) {
+	// For M/M/1 (ca=cs=1), Kingman is exact: W = rho/(1-rho) * s.
+	s, rho := 0.0222, 0.9
+	want := MM1MeanResponse(s, rho) - s
+	if got := KingmanWait(rho, 1, 1, s); !almost(got, want, 1e-12) {
+		t.Fatalf("Kingman M/M/1 = %v, want %v", got, want)
+	}
+	// M/D/1 waits half as long as M/M/1.
+	if got := KingmanWait(rho, 1, 0, s); !almost(got, want/2, 1e-12) {
+		t.Fatalf("Kingman M/D/1 = %v, want %v", got, want/2)
+	}
+}
+
+func TestPowerOfDReducesToMM1(t *testing.T) {
+	for _, rho := range []float64{0.2, 0.5, 0.9} {
+		if got, want := PowerOfDMeanQueue(rho, 1), MM1MeanQueueLength(rho); !almost(got, want, 1e-9) {
+			t.Errorf("d=1 rho=%v: %v want %v", rho, got, want)
+		}
+	}
+}
+
+func TestPowerOfDExponentialImprovement(t *testing.T) {
+	// Mitzenmacher: d=2 is a dramatic improvement over d=1; d=3..8 gains
+	// are comparatively small. Reproduce that ordering at rho=0.9.
+	rho := 0.9
+	q1 := PowerOfDMeanQueue(rho, 1)
+	q2 := PowerOfDMeanQueue(rho, 2)
+	q3 := PowerOfDMeanQueue(rho, 3)
+	q8 := PowerOfDMeanQueue(rho, 8)
+	if q2 >= q1/3 {
+		t.Fatalf("d=2 (%v) not dramatically below d=1 (%v)", q2, q1)
+	}
+	if !(q8 < q3 && q3 < q2) {
+		t.Fatalf("queue not decreasing in d: %v %v %v", q2, q3, q8)
+	}
+	// The d=2 -> d=8 gain is far smaller than the d=1 -> d=2 gain.
+	if (q2 - q8) > (q1-q2)/4 {
+		t.Fatalf("diminishing returns violated: d1=%v d2=%v d8=%v", q1, q2, q8)
+	}
+}
+
+func TestPowerOfDMeanResponse(t *testing.T) {
+	s := 0.05
+	if got := PowerOfDMeanResponse(0, 2, s); got != s {
+		t.Fatalf("idle response = %v", got)
+	}
+	// d=1 must match M/M/1 response by Little's law.
+	rho := 0.8
+	if got, want := PowerOfDMeanResponse(rho, 1, s), MM1MeanResponse(s, rho); !almost(got, want, 1e-9) {
+		t.Fatalf("d=1 response %v, want %v", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { MM1MeanResponse(1, 1) },
+		func() { MM1MeanResponse(1, -0.1) },
+		func() { StalenessUpperBound(1) },
+		func() { ErlangC(0, 0.5) },
+		func() { ErlangC(2, 2) },
+		func() { PowerOfDMeanQueue(0.5, 0) },
+		func() { KingmanWait(math.NaN(), 1, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Equation 1's closed form is positive, increasing in rho, and
+// always at least the mean-queue-difference at any finite truncation.
+func TestQuickStalenessBoundMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r1 := float64(a%990) / 1000 // [0, 0.989]
+		r2 := float64(b%990) / 1000
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return StalenessUpperBound(r1) <= StalenessUpperBound(r2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: power-of-d queue length decreases (weakly) in d for all rho.
+func TestQuickPowerOfDMonotoneInD(t *testing.T) {
+	f := func(a uint16, dRaw uint8) bool {
+		rho := float64(a%990) / 1000
+		d := int(dRaw%7) + 1
+		return PowerOfDMeanQueue(rho, d+1) <= PowerOfDMeanQueue(rho, d)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllenCunneen(t *testing.T) {
+	// ca = cs = 1 reduces to the M/M/c wait.
+	s, lambda, c := 0.05, 0.8/0.05, 1
+	want := MMcMeanResponse(c, lambda, s) - s
+	if got := AllenCunneenWait(c, lambda, s, 1, 1); !almost(got, want, 1e-12) {
+		t.Fatalf("AC(ca=cs=1) = %v, want %v", got, want)
+	}
+	// Deterministic service halves the wait.
+	if got := AllenCunneenWait(c, lambda, s, 1, 0); !almost(got, want/2, 1e-12) {
+		t.Fatalf("AC(cs=0) = %v, want %v", got, want/2)
+	}
+	// Burstier arrivals increase the wait monotonically.
+	prev := 0.0
+	for _, ca := range []float64{0.5, 1, 2, 4} {
+		w := AllenCunneenWait(16, 16*0.9/s, s, ca, 1)
+		if w <= prev {
+			t.Fatalf("AC not increasing in ca at %v", ca)
+		}
+		prev = w
+	}
+}

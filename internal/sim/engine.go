@@ -1,0 +1,225 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine: an event heap ordered by simulated time with FIFO
+// tie-breaking, an integer-nanosecond clock, and cancellable timers.
+//
+// The engine is intentionally minimal; domain models (servers, clients,
+// networks) live in higher-level packages and are expressed as
+// callbacks scheduled on the engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns d expressed in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns d expressed in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// FromSeconds converts a float64 number of seconds into a Duration,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Duration {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("sim: FromSeconds(%v)", s))
+	}
+	return Duration(math.Round(s * float64(Second)))
+}
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", t.Seconds()) }
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// event is a scheduled callback. Events with equal times fire in
+// scheduling order (seq), making runs fully deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, for debugging; -1 once popped
+}
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is lazy: the slot is
+// discarded when it reaches the top of the heap.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether the handle's event was cancelled.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	nFired  uint64
+}
+
+// New returns a fresh engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.nFired }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics — that is always a model bug.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes the currently running Run/RunUntil return after the
+// in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and fires the next non-cancelled event.
+// It returns false when no events remain.
+func (e *Engine) step(limit Time) bool {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > limit {
+			return false
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.nFired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(math.MaxInt64) {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	e.stopped = false
+	for !e.stopped && e.step(t) {
+	}
+	if !e.stopped {
+		e.now = t
+	}
+}
+
+// Every schedules fn at now+interval(), then repeatedly at successive
+// intervals, until the returned stop function is called. interval is
+// re-evaluated for every period, which is how jittered broadcast timers
+// are built. fn runs before the next period is scheduled.
+func (e *Engine) Every(interval func() Duration, fn func()) (stop func()) {
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		d := interval()
+		if d < 0 {
+			panic("sim: Every interval returned negative duration")
+		}
+		e.After(d, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

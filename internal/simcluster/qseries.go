@@ -1,0 +1,89 @@
+package simcluster
+
+import (
+	"sort"
+
+	"finelb/internal/stats"
+)
+
+// QSeries is a piecewise-constant queue-length time series: the load
+// index of one server as a step function of simulated time. Figure 2
+// samples it at pairs of times (t, t+delta) to measure load-index
+// inaccuracy.
+type QSeries struct {
+	times []float64 // change instants, non-decreasing
+	vals  []int     // value from times[i] (inclusive) onward
+}
+
+// record appends a change point. Repeated timestamps keep the latest
+// value, which is what a step function observed "just after" t means.
+func (s *QSeries) record(t float64, v int) {
+	if n := len(s.times); n > 0 && s.times[n-1] == t {
+		s.vals[n-1] = v
+		return
+	}
+	s.times = append(s.times, t)
+	s.vals = append(s.vals, v)
+}
+
+// Len returns the number of change points.
+func (s *QSeries) Len() int { return len(s.times) }
+
+// End returns the time of the last change point (0 when empty).
+func (s *QSeries) End() float64 {
+	if len(s.times) == 0 {
+		return 0
+	}
+	return s.times[len(s.times)-1]
+}
+
+// At returns the queue length at time t: the value of the last change
+// point at or before t, or 0 before the first point.
+func (s *QSeries) At(t float64) int {
+	idx := sort.SearchFloat64s(s.times, t)
+	// idx is the first point > t... SearchFloat64s returns first >= t;
+	// adjust so exact hits are included.
+	if idx < len(s.times) && s.times[idx] == t {
+		return s.vals[idx]
+	}
+	if idx == 0 {
+		return 0
+	}
+	return s.vals[idx-1]
+}
+
+// Inaccuracy returns the statistical mean of |Q(t) - Q(t+delay)| over
+// sample times t spaced `step` apart within [from, to-delay]. This is
+// the paper's load-index inaccuracy metric for a dissemination delay
+// (§2.1). It returns 0 when the window admits no samples.
+func (s *QSeries) Inaccuracy(delay, from, to, step float64) float64 {
+	if step <= 0 || delay < 0 {
+		panic("simcluster: Inaccuracy requires step > 0 and delay >= 0")
+	}
+	sum := stats.NewSummary(false)
+	for t := from; t+delay <= to; t += step {
+		d := s.At(t) - s.At(t+delay)
+		if d < 0 {
+			d = -d
+		}
+		sum.Add(float64(d))
+	}
+	return sum.Mean()
+}
+
+// TimeAverage returns the time-weighted mean queue length over
+// [from, to].
+func (s *QSeries) TimeAverage(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	var tw stats.TimeWeighted
+	tw.Set(from, float64(s.At(from)))
+	i := sort.SearchFloat64s(s.times, from)
+	for ; i < len(s.times) && s.times[i] <= to; i++ {
+		if s.times[i] > from {
+			tw.Set(s.times[i], float64(s.vals[i]))
+		}
+	}
+	return tw.Finish(to)
+}

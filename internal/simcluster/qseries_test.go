@@ -1,0 +1,135 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQSeriesAt(t *testing.T) {
+	var s QSeries
+	s.record(1, 1)
+	s.record(2, 2)
+	s.record(4, 1)
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {3.9, 2}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestQSeriesDuplicateTimestamps(t *testing.T) {
+	var s QSeries
+	s.record(1, 1)
+	s.record(1, 2) // same instant: keep latest
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.At(1); got != 2 {
+		t.Fatalf("At(1) = %d", got)
+	}
+}
+
+func TestQSeriesEnd(t *testing.T) {
+	var s QSeries
+	if s.End() != 0 {
+		t.Fatal("empty End != 0")
+	}
+	s.record(3, 1)
+	if s.End() != 3 {
+		t.Fatalf("End = %v", s.End())
+	}
+}
+
+func TestQSeriesInaccuracy(t *testing.T) {
+	// Square wave of period 2 alternating 0/1: |Q(t)-Q(t+1)| = 1 always,
+	// |Q(t)-Q(t+2)| = 0 always.
+	var s QSeries
+	for i := 0; i < 100; i++ {
+		s.record(float64(i), i%2)
+	}
+	if got := s.Inaccuracy(1, 0.5, 99, 0.25); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Inaccuracy(delay=1) = %v, want 1", got)
+	}
+	if got := s.Inaccuracy(2, 0.5, 99, 0.25); got != 0 {
+		t.Fatalf("Inaccuracy(delay=2) = %v, want 0", got)
+	}
+	// delay=0 is always 0.
+	if got := s.Inaccuracy(0, 0, 99, 0.1); got != 0 {
+		t.Fatalf("Inaccuracy(0) = %v", got)
+	}
+}
+
+func TestQSeriesInaccuracyPanics(t *testing.T) {
+	var s QSeries
+	for i, fn := range []func(){
+		func() { s.Inaccuracy(1, 0, 10, 0) },
+		func() { s.Inaccuracy(-1, 0, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQSeriesTimeAverage(t *testing.T) {
+	var s QSeries
+	s.record(0, 2)
+	s.record(10, 4)
+	if got := s.TimeAverage(0, 20); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("TimeAverage = %v, want 3", got)
+	}
+	// Window starting mid-step.
+	if got := s.TimeAverage(10, 20); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("TimeAverage tail = %v, want 4", got)
+	}
+	if got := s.TimeAverage(5, 5); got != 0 {
+		t.Fatalf("degenerate window = %v", got)
+	}
+}
+
+// Property: At is the step function defined by the recorded points, for
+// arbitrary monotone recordings.
+func TestQuickQSeriesStepFunction(t *testing.T) {
+	f := func(deltas []uint8, queries []uint16) bool {
+		var s QSeries
+		tm := 0.0
+		type pt struct {
+			t float64
+			v int
+		}
+		var pts []pt
+		for i, d := range deltas {
+			tm += float64(d%50) + 1
+			s.record(tm, i)
+			pts = append(pts, pt{tm, i})
+		}
+		for _, q := range queries {
+			qt := float64(q % 3000)
+			want := 0
+			for _, p := range pts {
+				if p.t <= qt {
+					want = p.v
+				}
+			}
+			if s.At(qt) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

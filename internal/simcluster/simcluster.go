@@ -1,0 +1,466 @@
+// Package simcluster wires the load-balancing policies of internal/core
+// into the discrete-event engine of internal/sim, reproducing the
+// paper's simulation model (§2): each server has a non-preemptive
+// processing unit and a FIFO service queue; the network latency of
+// sending a request and receiving a response is half a measured TCP
+// round trip; load inquiries cost a measured UDP round trip; broadcast
+// intervals are jittered uniformly over [0.5, 1.5] x mean.
+//
+// It powers Figure 2 (load-index inaccuracy), Figure 3 (broadcast
+// frequency), Figure 4 (poll size), and the ablations A1-A3.
+package simcluster
+
+import (
+	"fmt"
+
+	"finelb/internal/core"
+	"finelb/internal/sim"
+	"finelb/internal/stats"
+	"finelb/internal/workload"
+)
+
+// Paper-measured network constants (DESIGN.md §4).
+const (
+	// DefaultServiceNetDelay is the one-way request or response latency:
+	// half of the 516 us that the paper charges for a full
+	// send-request/receive-response exchange.
+	DefaultServiceNetDelay = 258 * sim.Microsecond
+	// DefaultPollRTT is the measured UDP load-inquiry round trip.
+	DefaultPollRTT = 290 * sim.Microsecond
+	// DefaultBroadcastDelay is the propagation delay of one load
+	// broadcast (half the UDP round trip).
+	DefaultBroadcastDelay = 145 * sim.Microsecond
+)
+
+// Config describes one simulated run.
+type Config struct {
+	Servers  int
+	Clients  int               // decision-making client nodes (default 6)
+	Workload workload.Workload // arrival dist must already be scaled (ScaledTo)
+	Policy   core.Policy
+
+	// SpeedFactors, when non-nil, makes the cluster heterogeneous:
+	// server i executes work at SpeedFactors[i] times the base rate
+	// (a demand of d seconds takes d/SpeedFactors[i]). Must have length
+	// Servers; nil means a homogeneous cluster, as in the paper.
+	SpeedFactors []float64
+
+	// Network model; zero values take the paper-measured defaults.
+	ServiceNetDelay sim.Duration
+	PollRTT         sim.Duration
+	BroadcastDelay  sim.Duration
+
+	// PollJitter, when non-nil, adds a sampled extra delay (seconds) to
+	// each poll's round trip. The paper's simulation uses constant poll
+	// cost (nil); the jitter exists to exercise the discard logic in
+	// simulation tests.
+	PollJitter stats.Dist
+
+	// Accesses is the number of service accesses to generate (default 100000).
+	Accesses int
+	// WarmupFrac is the fraction of initial accesses excluded from
+	// statistics (default 0.1).
+	WarmupFrac float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// RecordQueueSeries retains each server's queue-length time series
+	// (Figure 2 needs it; it costs memory on long runs).
+	RecordQueueSeries bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Servers <= 0 {
+		return c, fmt.Errorf("simcluster: Servers = %d", c.Servers)
+	}
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if c.Clients < 0 {
+		return c, fmt.Errorf("simcluster: Clients = %d", c.Clients)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return c, err
+	}
+	if c.ServiceNetDelay == 0 {
+		c.ServiceNetDelay = DefaultServiceNetDelay
+	}
+	if c.PollRTT == 0 {
+		c.PollRTT = DefaultPollRTT
+	}
+	if c.BroadcastDelay == 0 {
+		c.BroadcastDelay = DefaultBroadcastDelay
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 100000
+	}
+	if c.Accesses < 0 {
+		return c, fmt.Errorf("simcluster: Accesses = %d", c.Accesses)
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.1
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return c, fmt.Errorf("simcluster: WarmupFrac = %v", c.WarmupFrac)
+	}
+	if c.Workload.Arrival == nil || c.Workload.Service == nil {
+		return c, fmt.Errorf("simcluster: incomplete workload")
+	}
+	if c.SpeedFactors != nil {
+		if len(c.SpeedFactors) != c.Servers {
+			return c, fmt.Errorf("simcluster: %d speed factors for %d servers", len(c.SpeedFactors), c.Servers)
+		}
+		for i, f := range c.SpeedFactors {
+			if f <= 0 {
+				return c, fmt.Errorf("simcluster: speed factor %d = %v", i, f)
+			}
+		}
+	}
+	return c, nil
+}
+
+// MessageCount tallies the load-information traffic of a run,
+// supporting the paper's §2.4 scalability argument.
+type MessageCount struct {
+	PollRequests        int64 // client -> server load inquiries
+	PollResponses       int64 // server -> client answers used
+	PollsDiscarded      int64 // answers abandoned by the discard deadline
+	Broadcasts          int64 // server load announcements
+	BroadcastDeliveries int64 // per-client deliveries processed
+	Dispatches          int64 // service requests sent
+}
+
+// Total returns all load-information messages (excluding the service
+// dispatches themselves): what §2.4 counts when comparing policies.
+func (m MessageCount) Total() int64 {
+	return m.PollRequests + m.PollResponses + m.Broadcasts + m.BroadcastDeliveries
+}
+
+// Result reports the measured behaviour of one run.
+type Result struct {
+	Config Config
+
+	// Response summarizes access response times in seconds (poll time
+	// included, as in the paper), over post-warmup accesses.
+	Response *stats.Summary
+	// PollTime summarizes per-access polling durations in seconds
+	// (zero observations for non-polling policies).
+	PollTime *stats.Summary
+	// Messages tallies load-information traffic.
+	Messages MessageCount
+	// ServerUtilization is each server's busy fraction.
+	ServerUtilization []float64
+	// MeanQueueLength is the time-averaged queue length (load index)
+	// across servers.
+	MeanQueueLength float64
+	// QueueSeries holds per-server queue-length series when
+	// Config.RecordQueueSeries is set.
+	QueueSeries []*QSeries
+	// SimDuration is the simulated run length in seconds.
+	SimDuration float64
+}
+
+// job is one queued access on a server.
+type job struct {
+	service sim.Duration
+	done    func()
+}
+
+// server models the paper's server: a FIFO queue feeding one
+// non-preemptive processing unit. Its load index is the total number of
+// active accesses (queued + in service).
+type server struct {
+	eng       *sim.Engine
+	speed     float64 // work rate; demand d takes d/speed
+	pending   []job
+	busy      bool
+	active    int // the load index
+	committed int // active + dispatched-but-not-yet-arrived (ideal oracle)
+	busyTime  sim.Duration
+	qavg      stats.TimeWeighted
+	series    *QSeries
+}
+
+func (s *server) record() {
+	now := s.eng.Now().Seconds()
+	s.qavg.Set(now, float64(s.active))
+	if s.series != nil {
+		s.series.record(now, s.active)
+	}
+}
+
+// arrive enqueues one access; done fires when its service completes.
+func (s *server) arrive(service sim.Duration, done func()) {
+	s.active++
+	s.record()
+	if s.busy {
+		s.pending = append(s.pending, job{service, done})
+		return
+	}
+	s.start(job{service, done})
+}
+
+func (s *server) start(j job) {
+	s.busy = true
+	d := sim.Duration(float64(j.service) / s.speed)
+	s.busyTime += d
+	s.eng.After(d, func() { s.complete(j) })
+}
+
+func (s *server) complete(j job) {
+	s.active--
+	s.record()
+	s.busy = false
+	if len(s.pending) > 0 {
+		next := s.pending[0]
+		// Shift rather than re-slice forever to let the array be reused.
+		copy(s.pending, s.pending[1:])
+		s.pending = s.pending[:len(s.pending)-1]
+		s.start(next)
+	}
+	j.done()
+}
+
+// Run executes one simulated experiment and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	master := stats.NewRNG(cfg.Seed)
+	arrivalRNG := master.Split()
+	policyRNG := master.Split()
+	jitterRNG := master.Split()
+
+	res := &Result{
+		Config:   cfg,
+		Response: stats.NewSummary(true),
+		PollTime: stats.NewSummary(true),
+	}
+
+	servers := make([]*server, cfg.Servers)
+	for i := range servers {
+		speed := 1.0
+		if cfg.SpeedFactors != nil {
+			speed = cfg.SpeedFactors[i]
+		}
+		servers[i] = &server{eng: eng, speed: speed}
+		if cfg.RecordQueueSeries {
+			servers[i].series = &QSeries{}
+		}
+		servers[i].record()
+	}
+
+	// Per-client state.
+	tables := make([]*core.LoadTable, cfg.Clients)
+	rrs := make([]core.RoundRobinState, cfg.Clients)
+	if cfg.Policy.Kind == core.Broadcast {
+		for i := range tables {
+			tables[i] = core.NewLoadTable(cfg.Servers)
+		}
+	}
+	// Per-client outstanding-access counts (LocalLeast).
+	var outstanding [][]int
+	if cfg.Policy.Kind == core.LocalLeast {
+		outstanding = make([][]int, cfg.Clients)
+		for i := range outstanding {
+			outstanding[i] = make([]int, cfg.Servers)
+		}
+	}
+
+	// Broadcast agents.
+	if cfg.Policy.Kind == core.Broadcast {
+		mean := sim.FromSeconds(cfg.Policy.BroadcastInterval.Seconds())
+		for id := range servers {
+			id := id
+			interval := func() sim.Duration {
+				if cfg.Policy.BroadcastFixed {
+					return mean
+				}
+				// Jittered uniformly over [0.5, 1.5] x mean (§2.2).
+				f := 0.5 + jitterRNG.Float64()
+				return sim.Duration(float64(mean) * f)
+			}
+			eng.Every(interval, func() {
+				res.Messages.Broadcasts++
+				load := servers[id].active
+				eng.After(cfg.BroadcastDelay, func() {
+					for _, tbl := range tables {
+						tbl.Update(id, load)
+						res.Messages.BroadcastDeliveries++
+					}
+				})
+			})
+		}
+	}
+
+	// dispatch sends an access to srv and records its response time when
+	// the reply returns to the client.
+	completed := 0
+	warmup := int(float64(cfg.Accesses) * cfg.WarmupFrac)
+	dispatch := func(idx, client, srv int, start sim.Time, service sim.Duration, pollDur sim.Duration) {
+		res.Messages.Dispatches++
+		servers[srv].committed++
+		if outstanding != nil {
+			outstanding[client][srv]++
+		}
+		eng.After(cfg.ServiceNetDelay, func() {
+			servers[srv].arrive(service, func() {
+				eng.After(cfg.ServiceNetDelay, func() {
+					servers[srv].committed--
+					if outstanding != nil {
+						outstanding[client][srv]--
+					}
+					completed++
+					if idx >= warmup {
+						res.Response.Add(eng.Now().Sub(start).Seconds())
+						if cfg.Policy.Kind == core.Poll {
+							res.PollTime.Add(pollDur.Seconds())
+						}
+					}
+					if completed == cfg.Accesses {
+						eng.Stop()
+					}
+				})
+			})
+		})
+	}
+
+	pollScratch := make([]int, cfg.Servers)
+	pollDst := make([]int, cfg.Servers)
+
+	// handle runs the policy decision for one access.
+	handle := func(idx, client int, service sim.Duration) {
+		start := eng.Now()
+		switch cfg.Policy.Kind {
+		case core.Random:
+			dispatch(idx, client, policyRNG.Intn(cfg.Servers), start, service, 0)
+
+		case core.RoundRobin:
+			dispatch(idx, client, rrs[client].Next(cfg.Servers), start, service, 0)
+
+		case core.Ideal:
+			// Accurate load indexes acquired free of cost (§2): the
+			// oracle sees committed work, matching the prototype's
+			// centralized manager which increments on assignment.
+			loads := make([]int, cfg.Servers)
+			for i, s := range servers {
+				loads[i] = s.committed
+			}
+			dispatch(idx, client, core.PickLeast(policyRNG, loads), start, service, 0)
+
+		case core.LocalLeast:
+			dispatch(idx, client, core.PickLeast(policyRNG, outstanding[client]), start, service, 0)
+
+		case core.Broadcast:
+			tbl := tables[client]
+			srv := tbl.PickLeast(policyRNG)
+			if cfg.Policy.LocalCorrection {
+				tbl.Increment(srv)
+			}
+			dispatch(idx, client, srv, start, service, 0)
+
+		case core.Poll:
+			set := core.PollSet(policyRNG, cfg.Servers, cfg.Policy.PollSize, pollDst, pollScratch)
+			polled := append([]int(nil), set...)
+			res.Messages.PollRequests += int64(len(polled))
+
+			// Sample each poll's round trip up front; the response value
+			// is observed at the server halfway through.
+			type pendingPoll struct {
+				srv  int
+				resp sim.Time
+			}
+			polls := make([]pendingPoll, len(polled))
+			var latest sim.Time
+			for i, srv := range polled {
+				rtt := cfg.PollRTT
+				if cfg.PollJitter != nil {
+					rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
+				}
+				respAt := start.Add(rtt)
+				polls[i] = pendingPoll{srv: srv, resp: respAt}
+				if respAt > latest {
+					latest = respAt
+				}
+			}
+			deadline := latest
+			if d := cfg.Policy.DiscardAfter; d > 0 {
+				if dl := start.Add(sim.FromSeconds(d.Seconds())); dl < deadline {
+					deadline = dl
+				}
+			}
+			responses := make([]core.PollResponse, 0, len(polled))
+			for _, p := range polls {
+				p := p
+				if p.resp > deadline {
+					res.Messages.PollsDiscarded++
+					continue
+				}
+				// Observe the server's load index when the inquiry
+				// reaches it (half the round trip in).
+				obsAt := p.resp.Add(-sim.Duration((p.resp.Sub(start)) / 2))
+				eng.At(obsAt, func() {
+					responses = append(responses, core.PollResponse{
+						Server: p.srv, Load: servers[p.srv].active,
+					})
+					res.Messages.PollResponses++
+				})
+			}
+			eng.At(deadline, func() {
+				srv := core.PickFromPolls(policyRNG, responses, polled)
+				dispatch(idx, client, srv, start, service, deadline.Sub(start))
+			})
+		}
+	}
+
+	// Generate arrivals. Accesses are assigned to clients round-robin,
+	// mirroring the paper's multiple client nodes sharing the workload.
+	stream := cfg.Workload.Stream(arrivalRNG.Uint64())
+	for i := 0; i < cfg.Accesses; i++ {
+		a := stream.Next()
+		i, client := i, i%cfg.Clients
+		eng.At(sim.Time(sim.FromSeconds(a.Arrival)), func() {
+			handle(i, client, sim.FromSeconds(a.Service))
+		})
+	}
+
+	eng.Run()
+
+	end := eng.Now().Seconds()
+	res.SimDuration = end
+	res.ServerUtilization = make([]float64, cfg.Servers)
+	var qsum float64
+	for i, s := range servers {
+		if end > 0 {
+			res.ServerUtilization[i] = s.busyTime.Seconds() / end
+		}
+		qsum += s.qavg.Finish(end)
+		if cfg.RecordQueueSeries {
+			res.QueueSeries = append(res.QueueSeries, s.series)
+		}
+	}
+	res.MeanQueueLength = qsum / float64(cfg.Servers)
+	return res, nil
+}
+
+// MeanResponse is a convenience accessor: the run's mean response time
+// in seconds.
+func (r *Result) MeanResponse() float64 { return r.Response.Mean() }
+
+// MeanUtilization returns the average server busy fraction.
+func (r *Result) MeanUtilization() float64 {
+	var t float64
+	for _, u := range r.ServerUtilization {
+		t += u
+	}
+	return t / float64(len(r.ServerUtilization))
+}
+
+// Describe summarizes the run in one line for logs.
+func (r *Result) Describe() string {
+	return fmt.Sprintf("%s %s n=%d: mean=%.3fms p95=%.3fms util=%.3f msgs=%d",
+		r.Config.Workload.Name, r.Config.Policy, r.Config.Servers,
+		r.Response.Mean()*1e3, r.Response.Percentile(0.95)*1e3,
+		r.MeanUtilization(), r.Messages.Total())
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// BatchMeans estimates a confidence interval for the steady-state mean
+// of a correlated sample sequence (simulation output analysis). Naive
+// standard errors understate the uncertainty of queueing measurements
+// because successive response times are autocorrelated; batching into
+// nBatches contiguous batches and treating batch means as independent
+// is the standard remedy.
+//
+// It returns the grand mean and the half-width of the ~95% confidence
+// interval. With fewer than 2 batches' worth of data the half-width is
+// reported as +Inf.
+func BatchMeans(samples []float64, nBatches int) (mean, halfWidth float64) {
+	if nBatches < 2 {
+		panic("stats: BatchMeans needs at least 2 batches")
+	}
+	n := len(samples)
+	if n < 2*nBatches {
+		// Not enough data to form meaningful batches.
+		s := NewSummary(false)
+		s.AddAll(samples)
+		return s.Mean(), math.Inf(1)
+	}
+	batchSize := n / nBatches
+	used := batchSize * nBatches
+	// Drop the ragged tail so batches are equal-sized.
+	means := make([]float64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		var sum float64
+		for i := b * batchSize; i < (b+1)*batchSize; i++ {
+			sum += samples[i]
+		}
+		means[b] = sum / float64(batchSize)
+	}
+	var grand float64
+	for _, m := range means {
+		grand += m
+	}
+	grand /= float64(nBatches)
+	var ss float64
+	for _, m := range means {
+		ss += (m - grand) * (m - grand)
+	}
+	se := math.Sqrt(ss / float64(nBatches-1) / float64(nBatches))
+	// t-quantile for ~95% two-sided at nBatches-1 degrees of freedom.
+	return grandMeanOver(samples[:used], grand), tQuantile95(nBatches-1) * se
+}
+
+// grandMeanOver returns the mean of the used prefix; the grand mean of
+// equal-size batch means equals it, but recomputing keeps the function
+// honest about which samples contributed.
+func grandMeanOver(samples []float64, fallback float64) float64 {
+	if len(samples) == 0 {
+		return fallback
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// tQuantile95 approximates the two-sided 95% Student-t quantile for df
+// degrees of freedom (exact table entries for small df, 1.96 limit).
+func tQuantile95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 30:
+		return 2.05
+	case df < 60:
+		return 2.01
+	default:
+		return 1.96
+	}
+}

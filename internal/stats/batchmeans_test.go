@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For iid samples the CI should cover the true mean most of the
+	// time; check over repeated experiments.
+	covered := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		r := NewRNG(uint64(trial) + 1)
+		samples := make([]float64, 2000)
+		for i := range samples {
+			samples[i] = r.ExpFloat64() // true mean 1
+		}
+		mean, hw := BatchMeans(samples, 20)
+		if math.IsInf(hw, 1) {
+			t.Fatal("unexpected infinite half-width")
+		}
+		if mean-hw <= 1 && 1 <= mean+hw {
+			covered++
+		}
+	}
+	// Nominal 95%; accept anything above 85% to avoid flakiness.
+	if covered < trials*85/100 {
+		t.Fatalf("CI covered true mean only %d/%d times", covered, trials)
+	}
+}
+
+func TestBatchMeansCorrelatedWiderThanNaive(t *testing.T) {
+	// Strongly autocorrelated samples: the batch-means CI must be much
+	// wider than the naive iid standard error.
+	r := NewRNG(7)
+	samples := make([]float64, 4000)
+	x := 0.0
+	for i := range samples {
+		// AR(1) with phi=0.95.
+		x = 0.95*x + r.NormFloat64()
+		samples[i] = x
+	}
+	_, hw := BatchMeans(samples, 20)
+	s := NewSummary(false)
+	s.AddAll(samples)
+	naive := 1.96 * s.StdErr()
+	if hw < 2*naive {
+		t.Fatalf("batch-means half-width %v not clearly wider than naive %v for AR(1)", hw, naive)
+	}
+}
+
+func TestBatchMeansSmallSamples(t *testing.T) {
+	mean, hw := BatchMeans([]float64{1, 2, 3}, 10)
+	if !math.IsInf(hw, 1) {
+		t.Fatalf("half-width %v for tiny sample, want +Inf", hw)
+	}
+	if math.Abs(mean-2) > 1e-12 {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nBatches < 2 accepted")
+		}
+	}()
+	BatchMeans([]float64{1, 2}, 1)
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile95(df)
+		if q > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d", df)
+		}
+		prev = q
+	}
+	if q := tQuantile95(1000); q != 1.96 {
+		t.Fatalf("limit quantile %v", q)
+	}
+}

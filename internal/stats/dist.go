@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a continuous, non-negative probability distribution from which
+// arrival intervals and service times are drawn.
+//
+// Sample draws one value using the supplied generator. Mean and Std
+// report the distribution's analytic first moment and standard
+// deviation, which experiments use for sanity checks and for demand
+// scaling.
+type Dist interface {
+	Sample(r *RNG) float64
+	Mean() float64
+	Std() float64
+	String() string
+}
+
+// CV returns the coefficient of variation (stddev / mean) of d.
+// It returns 0 for a zero-mean distribution.
+func CV(d Dist) float64 {
+	if m := d.Mean(); m != 0 {
+		return d.Std() / m
+	}
+	return 0
+}
+
+// Deterministic is a degenerate distribution that always yields Value.
+type Deterministic struct{ Value float64 }
+
+// Sample returns Value regardless of r.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns Value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Std returns 0.
+func (d Deterministic) Std() float64 { return 0 }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Exponential is the exponential distribution with the given mean
+// (rate 1/MeanValue). It models Poisson-process inter-arrival times and
+// the paper's "Exp" service times.
+type Exponential struct{ MeanValue float64 }
+
+// Sample draws an exponential deviate.
+func (d Exponential) Sample(r *RNG) float64 { return d.MeanValue * r.ExpFloat64() }
+
+// Mean returns the distribution mean.
+func (d Exponential) Mean() float64 { return d.MeanValue }
+
+// Std returns the standard deviation (equal to the mean).
+func (d Exponential) Std() float64 { return d.MeanValue }
+
+func (d Exponential) String() string { return fmt.Sprintf("Exp(mean=%g)", d.MeanValue) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+// The paper uses it for jittered broadcast intervals
+// (uniform on [0.5, 1.5] x mean).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample draws a uniform deviate on [Lo, Hi).
+func (d Uniform) Sample(r *RNG) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+
+// Mean returns (Lo+Hi)/2.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// Std returns (Hi-Lo)/sqrt(12).
+func (d Uniform) Std() float64 { return (d.Hi - d.Lo) / math.Sqrt(12) }
+
+func (d Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g]", d.Lo, d.Hi) }
+
+// Lognormal is the lognormal distribution parameterized by the
+// underlying normal's Mu and Sigma: exp(Mu + Sigma*Z).
+//
+// The synthetic Teoma-like traces use lognormal marginals because prior
+// workload studies (Feldmann; Harchol-Balter & Downey, cited in the
+// paper) model network-service times and arrivals as Lognormal, Weibull,
+// or Pareto, and the lognormal is the one fully determined by the two
+// published moments in Table 1.
+type Lognormal struct{ Mu, Sigma float64 }
+
+// LognormalFromMoments returns the lognormal distribution with the
+// requested mean and standard deviation.
+func LognormalFromMoments(mean, std float64) Lognormal {
+	if mean <= 0 {
+		panic("stats: lognormal requires positive mean")
+	}
+	cv := std / mean
+	sigma2 := math.Log(1 + cv*cv)
+	return Lognormal{
+		Mu:    math.Log(mean) - sigma2/2,
+		Sigma: math.Sqrt(sigma2),
+	}
+}
+
+// Sample draws a lognormal deviate.
+func (d Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Std returns the analytic standard deviation.
+func (d Lognormal) Std() float64 {
+	s2 := d.Sigma * d.Sigma
+	return math.Sqrt((math.Exp(s2) - 1)) * d.Mean()
+}
+
+func (d Lognormal) String() string {
+	return fmt.Sprintf("Lognormal(mean=%.4g,std=%.4g)", d.Mean(), d.Std())
+}
+
+// Pareto is the (Lomax-shifted, scale Xm) Pareto distribution with shape
+// Alpha: P(X > x) = (Xm/x)^Alpha for x >= Xm. Heavy-tailed workloads in
+// the literature use Alpha slightly above 1.
+type Pareto struct {
+	Xm    float64 // scale (minimum value), > 0
+	Alpha float64 // shape, > 0
+}
+
+// Sample draws a Pareto deviate by inversion.
+func (d Pareto) Sample(r *RNG) float64 {
+	return d.Xm / math.Pow(r.Float64Open(), 1/d.Alpha)
+}
+
+// Mean returns the analytic mean, or +Inf when Alpha <= 1.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Std returns the analytic standard deviation, or +Inf when Alpha <= 2.
+func (d Pareto) Std() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	return d.Xm / (d.Alpha - 1) * math.Sqrt(d.Alpha/(d.Alpha-2))
+}
+
+func (d Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g,alpha=%g)", d.Xm, d.Alpha) }
+
+// Weibull is the Weibull distribution with the given Scale (lambda) and
+// Shape (k).
+type Weibull struct {
+	Scale float64 // lambda > 0
+	Shape float64 // k > 0
+}
+
+// Sample draws a Weibull deviate by inversion.
+func (d Weibull) Sample(r *RNG) float64 {
+	return d.Scale * math.Pow(r.ExpFloat64(), 1/d.Shape)
+}
+
+// Mean returns Scale * Gamma(1 + 1/Shape).
+func (d Weibull) Mean() float64 { return d.Scale * math.Gamma(1+1/d.Shape) }
+
+// Std returns the analytic standard deviation.
+func (d Weibull) Std() float64 {
+	g1 := math.Gamma(1 + 1/d.Shape)
+	g2 := math.Gamma(1 + 2/d.Shape)
+	return d.Scale * math.Sqrt(g2-g1*g1)
+}
+
+func (d Weibull) String() string {
+	return fmt.Sprintf("Weibull(scale=%g,shape=%g)", d.Scale, d.Shape)
+}
+
+// Hyperexponential is a two-phase hyperexponential distribution: with
+// probability P1 the sample is Exp(Mean1), otherwise Exp(Mean2). It is
+// the standard way to construct a CV > 1 service process with
+// exponential phases.
+type Hyperexponential struct {
+	P1           float64
+	Mean1, Mean2 float64
+}
+
+// HyperexpFromMoments constructs a balanced-means two-phase
+// hyperexponential with the requested mean and coefficient of variation
+// cv (cv must be >= 1).
+func HyperexpFromMoments(mean, cv float64) Hyperexponential {
+	if cv < 1 {
+		panic("stats: hyperexponential requires cv >= 1")
+	}
+	// Balanced means construction: p1*mean1 = p2*mean2 = mean/2.
+	c2 := cv * cv
+	p1 := 0.5 * (1 + math.Sqrt((c2-1)/(c2+1)))
+	return Hyperexponential{
+		P1:    p1,
+		Mean1: mean / (2 * p1),
+		Mean2: mean / (2 * (1 - p1)),
+	}
+}
+
+// Sample draws a hyperexponential deviate.
+func (d Hyperexponential) Sample(r *RNG) float64 {
+	if r.Float64() < d.P1 {
+		return d.Mean1 * r.ExpFloat64()
+	}
+	return d.Mean2 * r.ExpFloat64()
+}
+
+// Mean returns the mixture mean.
+func (d Hyperexponential) Mean() float64 {
+	return d.P1*d.Mean1 + (1-d.P1)*d.Mean2
+}
+
+// Std returns the analytic standard deviation of the mixture.
+func (d Hyperexponential) Std() float64 {
+	m := d.Mean()
+	// E[X^2] of an exponential with mean m_i is 2 m_i^2.
+	m2 := d.P1*2*d.Mean1*d.Mean1 + (1-d.P1)*2*d.Mean2*d.Mean2
+	return math.Sqrt(m2 - m*m)
+}
+
+func (d Hyperexponential) String() string {
+	return fmt.Sprintf("H2(mean=%.4g,cv=%.3g)", d.Mean(), CV(d))
+}
+
+// Scaled wraps a distribution, multiplying every sample (and the
+// analytic moments) by Factor. Experiments use it to rescale trace
+// arrival intervals to a target demand level, exactly as the paper
+// rescales its traces.
+type Scaled struct {
+	D      Dist
+	Factor float64
+}
+
+// Sample draws from the underlying distribution and scales the result.
+func (d Scaled) Sample(r *RNG) float64 { return d.Factor * d.D.Sample(r) }
+
+// Fork implements Forker by forking the wrapped distribution, so a
+// scaled stateful process still gets independent per-stream state.
+func (d Scaled) Fork() Dist { return Scaled{D: ForkDist(d.D), Factor: d.Factor} }
+
+// Mean returns Factor times the underlying mean.
+func (d Scaled) Mean() float64 { return d.Factor * d.D.Mean() }
+
+// Std returns Factor times the underlying standard deviation.
+func (d Scaled) Std() float64 { return d.Factor * d.D.Std() }
+
+func (d Scaled) String() string { return fmt.Sprintf("%v x %g", d.D, d.Factor) }

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with uniformly sized
+// bins plus underflow/overflow counters. It is used by experiments to
+// report latency and queue-length shapes.
+type Histogram struct {
+	lo, hi    float64
+	bins      []int64
+	under     int64
+	over      int64
+	n         int64
+	logScaled bool
+}
+
+// NewHistogram returns a histogram with nbins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}
+}
+
+// NewLogHistogram returns a histogram whose bins are uniform in
+// log-space over [lo, hi); lo must be positive. Suitable for latency
+// distributions spanning several orders of magnitude.
+func NewLogHistogram(lo, hi float64, nbins int) *Histogram {
+	if lo <= 0 || hi <= lo || nbins <= 0 {
+		panic("stats: invalid log-histogram parameters")
+	}
+	return &Histogram{
+		lo: math.Log(lo), hi: math.Log(hi),
+		bins: make([]int64, nbins), logScaled: true,
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	v := x
+	if h.logScaled {
+		if x <= 0 {
+			h.under++
+			return
+		}
+		v = math.Log(x)
+	}
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		idx := int(float64(len(h.bins)) * (v - h.lo) / (h.hi - h.lo))
+		if idx >= len(h.bins) { // guard rounding at the upper edge
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// N returns the number of observations including under/overflow.
+func (h *Histogram) N() int64 { return h.n }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.bins[i] }
+
+// Underflow returns the count of observations below the histogram range.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of observations at or above the range.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// BinEdges returns the lower and upper edge of bin i in data space.
+func (h *Histogram) BinEdges(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	lo = h.lo + float64(i)*w
+	hi = lo + w
+	if h.logScaled {
+		lo, hi = math.Exp(lo), math.Exp(hi)
+	}
+	return lo, hi
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+func (h *Histogram) Render(width int) string {
+	var peak int64 = 1
+	for _, c := range h.bins {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		lo, hi := h.BinEdges(i)
+		bar := strings.Repeat("#", int(int64(width)*c/peak))
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Fatalf("bin %d count %d, want 1", i, h.Count(i))
+		}
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Fatal("unexpected under/overflow")
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.1)
+	h.Add(1.0) // hi edge is exclusive
+	h.Add(5)
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %d", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(2, 12, 5)
+	lo, hi := h.BinEdges(0)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bin 0 edges [%v,%v)", lo, hi)
+	}
+	lo, hi = h.BinEdges(4)
+	if lo != 10 || hi != 12 {
+		t.Fatalf("bin 4 edges [%v,%v)", lo, hi)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1e-3, 1e3, 6) // one bin per decade
+	for _, v := range []float64{2e-3, 2e-2, 2e-1, 2, 20, 200} {
+		h.Add(v)
+	}
+	for i := 0; i < 6; i++ {
+		if h.Count(i) != 1 {
+			t.Fatalf("log bin %d count %d, want 1", i, h.Count(i))
+		}
+	}
+	h.Add(0) // non-positive goes to underflow in log scale
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %d", h.Underflow())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render lacks bars:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("render line count wrong:\n%s", out)
+	}
+}
+
+func TestHistogramInvalidParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewLogHistogram(0, 1, 4) },
+		func() { NewLogHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid histogram params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every added value lands in exactly one counter, so the
+// total always equals N.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(-5, 5, 7)
+		n := 0
+		for _, v := range vals {
+			if v != v { // skip NaN: binning NaN is unspecified
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		var total int64 = h.Underflow() + h.Overflow()
+		for i := 0; i < 7; i++ {
+			total += h.Count(i)
+		}
+		return total == int64(n) && h.N() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a value within range lands in the bin whose edges contain it.
+func TestQuickHistogramBinEdgesConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		h := NewHistogram(0, 1, 13)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			before := make([]int64, 13)
+			for j := range before {
+				before[j] = h.Count(j)
+			}
+			h.Add(v)
+			for j := 0; j < 13; j++ {
+				if h.Count(j) != before[j] {
+					lo, hi := h.BinEdges(j)
+					if v < lo || v >= hi {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

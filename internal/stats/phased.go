@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phased is a two-phase Markov-modulated distribution: samples come
+// from phase A or phase B, and the process stays in each phase for a
+// geometrically distributed number of draws (mean MeanRunA / MeanRunB).
+// Unlike an iid distribution with the same marginal moments, successive
+// samples are *correlated* — used to model the burst structure of real
+// service traces, where busy spells of short arrival intervals
+// alternate with calm spells.
+//
+// Phased carries phase state across draws: use one instance per stream
+// and do not share it between goroutines.
+type Phased struct {
+	A, B               Dist
+	MeanRunA, MeanRunB float64
+
+	inited bool
+	inB    bool
+}
+
+// NewPhased validates and returns a phased distribution.
+func NewPhased(a, b Dist, meanRunA, meanRunB float64) *Phased {
+	if meanRunA < 1 || meanRunB < 1 {
+		panic("stats: Phased mean run lengths must be >= 1")
+	}
+	if a == nil || b == nil {
+		panic("stats: Phased needs both phase distributions")
+	}
+	return &Phased{A: a, B: b, MeanRunA: meanRunA, MeanRunB: meanRunB}
+}
+
+// PhasedBurstyExp builds a bursty interval process with overall mean
+// interval `mean`: a busy phase with intervals Exp(mean/burst) and a
+// calm phase with intervals Exp(mean*(2-1/burst)), equal mean run
+// lengths, so the long-run mean stays `mean` while burst > 1
+// concentrates arrivals into spells. burst = 1 degenerates to plain
+// Exp(mean).
+func PhasedBurstyExp(mean, burst, meanRun float64) *Phased {
+	if mean <= 0 || burst < 1 {
+		panic("stats: PhasedBurstyExp requires mean > 0 and burst >= 1")
+	}
+	return NewPhased(
+		Exponential{MeanValue: mean / burst},
+		Exponential{MeanValue: mean * (2 - 1/burst)},
+		meanRun, meanRun,
+	)
+}
+
+// shareA is the fraction of draws taken in phase A.
+func (p *Phased) shareA() float64 {
+	return p.MeanRunA / (p.MeanRunA + p.MeanRunB)
+}
+
+// Sample draws the next value, advancing the phase chain.
+func (p *Phased) Sample(r *RNG) float64 {
+	if !p.inited {
+		p.inited = true
+		p.inB = r.Float64() >= p.shareA() // start in the stationary phase mix
+	}
+	var v float64
+	if p.inB {
+		v = p.B.Sample(r)
+		if r.Float64() < 1/p.MeanRunB {
+			p.inB = false
+		}
+	} else {
+		v = p.A.Sample(r)
+		if r.Float64() < 1/p.MeanRunA {
+			p.inB = true
+		}
+	}
+	return v
+}
+
+// Mean returns the draw-stationary mixture mean.
+func (p *Phased) Mean() float64 {
+	sa := p.shareA()
+	return sa*p.A.Mean() + (1-sa)*p.B.Mean()
+}
+
+// Std returns the draw-stationary mixture standard deviation (of the
+// marginal; it ignores the inter-draw correlation, which is the point
+// of the construction).
+func (p *Phased) Std() float64 {
+	sa := p.shareA()
+	// E[X^2] per phase = var + mean^2.
+	m2a := p.A.Std()*p.A.Std() + p.A.Mean()*p.A.Mean()
+	m2b := p.B.Std()*p.B.Std() + p.B.Mean()*p.B.Mean()
+	m := p.Mean()
+	return math.Sqrt(sa*m2a + (1-sa)*m2b - m*m)
+}
+
+func (p *Phased) String() string {
+	return fmt.Sprintf("Phased(%v x%g | %v x%g)", p.A, p.MeanRunA, p.B, p.MeanRunB)
+}
+
+// Forker is implemented by stateful distributions that must not share
+// their state between independent sample streams.
+type Forker interface {
+	// Fork returns an independent copy with reset stream state.
+	Fork() Dist
+}
+
+// Fork implements Forker: the copy starts with fresh phase state.
+func (p *Phased) Fork() Dist {
+	return NewPhased(ForkDist(p.A), ForkDist(p.B), p.MeanRunA, p.MeanRunB)
+}
+
+// ForkDist returns an independent copy of d when d is stateful
+// (implements Forker), and d itself otherwise. Every consumer that
+// starts a new sample stream should pass its distributions through
+// ForkDist.
+func ForkDist(d Dist) Dist {
+	if f, ok := d.(Forker); ok {
+		return f.Fork()
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhasedMoments(t *testing.T) {
+	p := NewPhased(Exponential{MeanValue: 1}, Exponential{MeanValue: 9}, 20, 20)
+	// Equal shares: mean = 5.
+	if m := p.Mean(); math.Abs(m-5) > 1e-12 {
+		t.Fatalf("analytic mean %v", m)
+	}
+	checkMoments(t, p, 400000, 0.05)
+}
+
+func TestPhasedBurstyExpPreservesMean(t *testing.T) {
+	for _, burst := range []float64{1, 2, 5, 10} {
+		p := PhasedBurstyExp(0.01, burst, 50)
+		if m := p.Mean(); math.Abs(m-0.01)/0.01 > 1e-9 {
+			t.Errorf("burst=%v: analytic mean %v, want 0.01", burst, m)
+		}
+	}
+	checkMoments(t, PhasedBurstyExp(1, 5, 30), 400000, 0.05)
+}
+
+func TestPhasedCorrelation(t *testing.T) {
+	// Successive intervals must be positively correlated (that is the
+	// whole point); an iid exponential is not.
+	r := NewRNG(5)
+	p := PhasedBurstyExp(1, 10, 100)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = p.Sample(r)
+	}
+	if c := lag1Corr(xs); c < 0.1 {
+		t.Fatalf("phased lag-1 correlation %v, want clearly positive", c)
+	}
+	iid := Exponential{MeanValue: 1}
+	for i := range xs {
+		xs[i] = iid.Sample(r)
+	}
+	if c := lag1Corr(xs); math.Abs(c) > 0.02 {
+		t.Fatalf("iid lag-1 correlation %v, want ~0", c)
+	}
+}
+
+// lag1Corr computes the lag-1 autocorrelation of xs.
+func lag1Corr(xs []float64) float64 {
+	n := len(xs)
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-1; i++ {
+		num += (xs[i] - mean) * (xs[i+1] - mean)
+	}
+	for _, x := range xs {
+		den += (x - mean) * (x - mean)
+	}
+	return num / den
+}
+
+func TestPhasedPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPhased(nil, Exponential{MeanValue: 1}, 2, 2) },
+		func() { NewPhased(Exponential{MeanValue: 1}, Exponential{MeanValue: 1}, 0.5, 2) },
+		func() { PhasedBurstyExp(0, 2, 10) },
+		func() { PhasedBurstyExp(1, 0.5, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: PhasedBurstyExp keeps the requested mean for any burst and
+// run length, and all samples are positive and finite.
+func TestQuickPhasedBursty(t *testing.T) {
+	f := func(seed uint64, burstRaw, runRaw uint8) bool {
+		burst := 1 + float64(burstRaw%20)
+		run := 1 + float64(runRaw%100)
+		p := PhasedBurstyExp(2, burst, run)
+		if math.Abs(p.Mean()-2) > 1e-9 {
+			return false
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := p.Sample(r)
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasedFork(t *testing.T) {
+	p := PhasedBurstyExp(1, 8, 40)
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		p.Sample(r) // advance phase state
+	}
+	forked := ForkDist(p).(*Phased)
+	if forked == p {
+		t.Fatal("Fork returned the same instance")
+	}
+	if forked.inited {
+		t.Fatal("forked copy inherited stream state")
+	}
+	// Scaled wrapping still forks the inner process.
+	s := Scaled{D: p, Factor: 2}
+	sf := ForkDist(s).(Scaled)
+	if sf.D.(*Phased) == p {
+		t.Fatal("Scaled.Fork did not fork the inner distribution")
+	}
+	// Stateless distributions are returned as-is.
+	e := Exponential{MeanValue: 1}
+	if ForkDist(e) != Dist(e) {
+		t.Fatal("stateless dist was copied")
+	}
+}

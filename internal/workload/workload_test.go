@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finelb/internal/stats"
+)
+
+func TestPaperWorkloadMoments(t *testing.T) {
+	cases := []struct {
+		w                    Workload
+		svcMean, svcStd      float64
+		arrStdOverMeanRounds float64
+	}{
+		{MediumGrain(), MediumGrainServiceMean, MediumGrainServiceStd, TraceArrivalCV},
+		{FineGrain(), FineGrainServiceMean, FineGrainServiceStd, TraceArrivalCV},
+	}
+	for _, c := range cases {
+		if m := c.w.Service.Mean(); math.Abs(m-c.svcMean)/c.svcMean > 1e-9 {
+			t.Errorf("%s service mean %v, want %v", c.w.Name, m, c.svcMean)
+		}
+		if s := c.w.Service.Std(); math.Abs(s-c.svcStd)/c.svcStd > 1e-9 {
+			t.Errorf("%s service std %v, want %v", c.w.Name, s, c.svcStd)
+		}
+		if cv := stats.CV(c.w.Arrival); math.Abs(cv-c.arrStdOverMeanRounds) > 1e-9 {
+			t.Errorf("%s arrival CV %v, want %v", c.w.Name, cv, c.arrStdOverMeanRounds)
+		}
+	}
+	pe := PoissonExp(PoissonExpServiceMean)
+	if pe.Service.Mean() != PoissonExpServiceMean {
+		t.Errorf("Poisson/Exp service mean %v", pe.Service.Mean())
+	}
+	if cv := stats.CV(pe.Service); cv != 1 {
+		t.Errorf("Poisson/Exp service CV %v, want 1", cv)
+	}
+}
+
+func TestPaperOrder(t *testing.T) {
+	ws := Paper()
+	if len(ws) != 3 {
+		t.Fatalf("Paper() returned %d workloads", len(ws))
+	}
+	want := []string{"Medium-Grain trace", "Poisson/Exp", "Fine-Grain trace"}
+	for i, w := range ws {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %q, want %q", i, w.Name, want[i])
+		}
+	}
+}
+
+func TestScaledTo(t *testing.T) {
+	for _, w := range Paper() {
+		for _, rho := range []float64{0.5, 0.7, 0.9} {
+			for _, n := range []int{1, 16} {
+				sw := w.ScaledTo(n, rho)
+				got := sw.Utilization(n)
+				if math.Abs(got-rho)/rho > 1e-9 {
+					t.Errorf("%s n=%d rho=%v: utilization %v", w.Name, n, rho, got)
+				}
+				// Scaling must preserve the arrival CV.
+				if a, b := stats.CV(w.Arrival), stats.CV(sw.Arrival); math.Abs(a-b) > 1e-9 {
+					t.Errorf("%s: scaling changed CV %v -> %v", w.Name, a, b)
+				}
+				// Service distribution untouched.
+				if sw.Service.Mean() != w.Service.Mean() {
+					t.Errorf("%s: scaling changed service dist", w.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestScaledToPanics(t *testing.T) {
+	w := PoissonExp(0.05)
+	for i, fn := range []func(){
+		func() { w.ScaledTo(0, 0.5) },
+		func() { w.ScaledTo(16, 0) },
+		func() { w.ScaledTo(16, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	w := FineGrain().ScaledTo(16, 0.9)
+	a := w.Stream(42)
+	b := w.Stream(42)
+	for i := 0; i < 100; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+	c := w.Stream(43)
+	diff := false
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamMonotoneArrivals(t *testing.T) {
+	w := MediumGrain()
+	s := w.Stream(7)
+	prev := -1.0
+	for i := 0; i < 1000; i++ {
+		a := s.Next()
+		if a.Arrival <= prev {
+			t.Fatalf("arrival %v not after %v", a.Arrival, prev)
+		}
+		if a.Service <= 0 {
+			t.Fatalf("non-positive service %v", a.Service)
+		}
+		prev = a.Arrival
+	}
+}
+
+func TestGenerateMatchesTable1(t *testing.T) {
+	// The generated traces must reproduce the Table 1 moments within
+	// sampling error — this is experiment T1's acceptance criterion.
+	const n = 200000
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s = %v, want %v (+-%v%%)", name, got, want, tol*100)
+		}
+	}
+	mg := MediumGrain().Generate(n, 1)
+	st := mg.Stats()
+	check("medium service mean", st.ServiceMean, MediumGrainServiceMean, 0.05)
+	check("medium service std", st.ServiceStd, MediumGrainServiceStd, 0.10)
+	check("medium arrival std", st.ArrivalStd, MediumGrainArrivalStd, 0.10)
+
+	fg := FineGrain().Generate(n, 2)
+	st = fg.Stats()
+	check("fine service mean", st.ServiceMean, FineGrainServiceMean, 0.05)
+	check("fine service std", st.ServiceStd, FineGrainServiceStd, 0.10)
+	check("fine arrival std", st.ArrivalStd, FineGrainArrivalStd, 0.10)
+}
+
+func TestUtilizationFormula(t *testing.T) {
+	w := Workload{
+		Name:    "det",
+		Arrival: stats.Deterministic{Value: 0.01},
+		Service: stats.Deterministic{Value: 0.08},
+	}
+	// Aggregate rate 100/s, service 0.08s, 16 servers -> rho = 0.5.
+	if got := w.Utilization(16); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v", got)
+	}
+}
+
+// Property: ScaledTo hits any requested utilization for any workload.
+func TestQuickScaledToUtilization(t *testing.T) {
+	f := func(rhoRaw, nRaw uint8) bool {
+		rho := (float64(rhoRaw%98) + 1) / 100 // [0.01, 0.98]
+		n := int(nRaw%32) + 1
+		w := FineGrain().ScaledTo(n, rho)
+		return math.Abs(w.Utilization(n)-rho)/rho < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithBurstyArrivals(t *testing.T) {
+	base := PoissonExp(0.05).ScaledTo(16, 0.9)
+	for _, burst := range []float64{1, 4, 10} {
+		b := base.WithBurstyArrivals(burst, 50)
+		if math.Abs(b.Arrival.Mean()-base.Arrival.Mean())/base.Arrival.Mean() > 1e-9 {
+			t.Errorf("burst %v changed the mean interval", burst)
+		}
+		if math.Abs(b.Utilization(16)-0.9) > 1e-9 {
+			t.Errorf("burst %v changed utilization to %v", burst, b.Utilization(16))
+		}
+		// Streams still produce monotone arrivals.
+		s := b.Stream(3)
+		prev := -1.0
+		for i := 0; i < 200; i++ {
+			a := s.Next()
+			if a.Arrival <= prev {
+				t.Fatalf("non-monotone arrivals under burst %v", burst)
+			}
+			prev = a.Arrival
+		}
+	}
+}
