@@ -35,6 +35,7 @@ import (
 
 	"finelb/internal/cluster"
 	"finelb/internal/core"
+	"finelb/internal/faults"
 	"finelb/internal/simcluster"
 	"finelb/internal/workload"
 )
@@ -142,3 +143,35 @@ var (
 // DiscardThreshold is the §3.2 slow-poll discard threshold used by the
 // paper's Table 2 (10 ms; see DESIGN.md for the OCR restoration).
 const DiscardThreshold = 10 * time.Millisecond
+
+// Fault injection (§3.1 availability): a FaultSchedule describes node
+// crashes, pause/resume pairs, and per-link loss/latency; pass it to
+// SimConfig.Faults or PrototypeConfig.Faults and both substrates replay
+// it deterministically from the same seed.
+type (
+	// FaultSchedule is a seedable schedule of node and link faults.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one timed node fault (crash, pause, or resume).
+	FaultEvent = faults.NodeEvent
+	// LinkRule degrades the poll path between client-server pairs with
+	// probabilistic loss and added latency (-1 matches any index).
+	LinkRule = faults.LinkRule
+	// FaultKind distinguishes crash, pause, and resume events.
+	FaultKind = faults.Kind
+)
+
+// Node fault kinds.
+const (
+	// Crash permanently kills a node: in-flight and queued work fails
+	// and its soft state expires at the directory TTL.
+	Crash = faults.Crash
+	// Pause freezes a node: accepted work stalls but is not lost.
+	Pause = faults.Pause
+	// Resume unfreezes a paused node and re-publishes it immediately.
+	Resume = faults.Resume
+)
+
+// DegradedDemo returns the canned degraded-mode schedule used by the
+// "degraded" experiment: kill the first kills of n nodes at the given
+// offset, with uniform poll loss on every link.
+var DegradedDemo = faults.DegradedDemo

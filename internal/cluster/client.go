@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"finelb/internal/core"
+	"finelb/internal/faults"
 	"finelb/internal/stats"
 )
 
@@ -43,6 +44,42 @@ type ClientConfig struct {
 	// AccessTimeout bounds one service round trip (default 10 s).
 	AccessTimeout time.Duration
 
+	// PollRetries is how many times a completely unanswered poll round
+	// is re-polled (after a jittered backoff) before the client falls
+	// back to random selection. Default faults.DefaultPollRetries;
+	// negative disables retries.
+	PollRetries int
+
+	// AccessRetries is how many times a failed service round trip is
+	// retried on a freshly chosen server. Default
+	// faults.DefaultAccessRetries; negative disables retries. Forced to
+	// zero for the Ideal policy, whose manager acquire/release protocol
+	// accounts each access exactly once.
+	AccessRetries int
+
+	// RetryBackoff is the base backoff between retries: actual waits
+	// are jittered uniformly over [0.5, 1.5)× and double per attempt.
+	// Default faults.DefaultRetryBackoff.
+	RetryBackoff time.Duration
+
+	// QuarantineAfter puts a server on this client's quarantine list
+	// after that many consecutive unanswered load inquiries; a broken
+	// service round trip quarantines immediately. Quarantined servers
+	// are skipped by server selection until QuarantineFor elapses (or a
+	// later inquiry is answered). Default faults.DefaultQuarantineAfter;
+	// negative disables quarantine.
+	QuarantineAfter int
+
+	// QuarantineFor is how long a quarantined server is avoided.
+	// Default faults.DefaultQuarantineFor.
+	QuarantineFor time.Duration
+
+	// Faults, when non-nil, injects the schedule's link faults (poll
+	// loss and added latency) into this client's load inquiries, keyed
+	// by this client's ID. Node events are replayed by the driver, not
+	// here.
+	Faults *faults.Schedule
+
 	Seed uint64
 }
 
@@ -50,11 +87,18 @@ type ClientConfig struct {
 type AccessInfo struct {
 	Server    int           // NodeID that served the access
 	Resp      *Response     // server reply
-	PollTime  time.Duration // time spent acquiring load information
+	PollTime  time.Duration // time spent acquiring load information (all rounds)
 	Polled    int           // inquiries sent
 	Answered  int           // inquiries answered in time
 	Discarded int           // inquiries abandoned at the deadline
+	Retries   int           // poll rounds and access attempts beyond the first
 	PollRTTs  []time.Duration
+}
+
+// serverHealth is this client's failure-detector state for one server.
+type serverHealth struct {
+	strikes int       // consecutive unanswered inquiries
+	until   time.Time // quarantined while now < until
 }
 
 // Client is a client node: it maintains a service mapping table from
@@ -62,7 +106,8 @@ type AccessInfo struct {
 // (polling agent or baseline policies) in front of the service access
 // point (Figure 5).
 type Client struct {
-	cfg ClientConfig
+	cfg   ClientConfig
+	links *faults.LinkState
 
 	mu          sync.Mutex
 	rng         *stats.RNG
@@ -71,6 +116,7 @@ type Client struct {
 	agents      map[string]*pollAgent // by load address
 	pools       map[string]*connPool  // by access address
 	outstanding map[int]int           // this client's in-flight accesses by NodeID (LocalLeast)
+	health      map[int]*serverHealth // quarantine state by NodeID
 
 	mgr *managerClient
 
@@ -97,6 +143,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Policy.Kind == core.Ideal && cfg.ManagerAddr == "" {
 		return nil, fmt.Errorf("cluster: Ideal policy needs ManagerAddr")
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.RefreshInterval == 0 {
 		cfg.RefreshInterval = 250 * time.Millisecond
 	}
@@ -106,12 +155,38 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.AccessTimeout == 0 {
 		cfg.AccessTimeout = 10 * time.Second
 	}
+	if cfg.PollRetries == 0 {
+		cfg.PollRetries = faults.DefaultPollRetries
+	}
+	if cfg.PollRetries < 0 {
+		cfg.PollRetries = 0
+	}
+	if cfg.AccessRetries == 0 {
+		cfg.AccessRetries = faults.DefaultAccessRetries
+	}
+	if cfg.AccessRetries < 0 || cfg.Policy.Kind == core.Ideal {
+		cfg.AccessRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = faults.DefaultRetryBackoff
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = faults.DefaultQuarantineAfter
+	}
+	if cfg.QuarantineAfter < 0 {
+		cfg.QuarantineAfter = 0
+	}
+	if cfg.QuarantineFor == 0 {
+		cfg.QuarantineFor = faults.DefaultQuarantineFor
+	}
 	c := &Client{
 		cfg:         cfg,
+		links:       cfg.Faults.NewLinkState(cfg.ID),
 		rng:         stats.NewRNG(cfg.Seed ^ 0xc1e9a7b3d5f01234),
 		agents:      make(map[string]*pollAgent),
 		pools:       make(map[string]*connPool),
 		outstanding: make(map[int]int),
+		health:      make(map[int]*serverHealth),
 		done:        make(chan struct{}),
 	}
 	if cfg.Policy.Kind == core.Ideal {
@@ -217,18 +292,152 @@ func (c *Client) pool(accessAddr string) *connPool {
 	return p
 }
 
+// liveEndpoints filters eps down to servers not currently quarantined.
+// It returns eps unchanged when nothing is quarantined (the common,
+// healthy case) and nil when every endpoint is quarantined.
+func (c *Client) liveEndpoints(eps []Endpoint) []Endpoint {
+	if c.cfg.QuarantineAfter == 0 {
+		return eps
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.health) == 0 {
+		return eps
+	}
+	now := time.Now()
+	quarantined := 0
+	for _, ep := range eps {
+		if h := c.health[ep.NodeID]; h != nil && now.Before(h.until) {
+			quarantined++
+		}
+	}
+	if quarantined == 0 {
+		return eps
+	}
+	if quarantined == len(eps) {
+		return nil
+	}
+	live := make([]Endpoint, 0, len(eps)-quarantined)
+	for _, ep := range eps {
+		if h := c.health[ep.NodeID]; h != nil && now.Before(h.until) {
+			continue
+		}
+		live = append(live, ep)
+	}
+	return live
+}
+
+// noteAnswered clears a server's failure-detector state: an answered
+// inquiry is proof of life.
+func (c *Client) noteAnswered(nodeID int) {
+	if c.cfg.QuarantineAfter == 0 {
+		return
+	}
+	c.mu.Lock()
+	delete(c.health, nodeID)
+	c.mu.Unlock()
+}
+
+// noteSilent records one unanswered inquiry; QuarantineAfter
+// consecutive silences quarantine the server.
+func (c *Client) noteSilent(nodeID int) {
+	if c.cfg.QuarantineAfter == 0 {
+		return
+	}
+	c.mu.Lock()
+	h := c.health[nodeID]
+	if h == nil {
+		h = &serverHealth{}
+		c.health[nodeID] = h
+	}
+	h.strikes++
+	if h.strikes >= c.cfg.QuarantineAfter {
+		h.until = time.Now().Add(c.cfg.QuarantineFor)
+		h.strikes = 0
+	}
+	c.mu.Unlock()
+}
+
+// noteAccessFailure quarantines a server immediately: a broken service
+// round trip is much stronger evidence than a silent inquiry.
+func (c *Client) noteAccessFailure(nodeID int) {
+	if c.cfg.QuarantineAfter == 0 {
+		return
+	}
+	c.mu.Lock()
+	h := c.health[nodeID]
+	if h == nil {
+		h = &serverHealth{}
+		c.health[nodeID] = h
+	}
+	h.strikes = 0
+	h.until = time.Now().Add(c.cfg.QuarantineFor)
+	c.mu.Unlock()
+}
+
+// backoff sleeps the jittered backoff before retry attempt (0-based).
+// It returns false if the client closed while waiting.
+func (c *Client) backoff(attempt int) bool {
+	d := faults.Backoff(c.cfg.RetryBackoff, attempt)
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	t := time.NewTimer(time.Duration(float64(d) * jitter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
 // Access performs one service access of the configured service using
 // the configured policy, emulating serviceUs microseconds of work on
-// the chosen server.
+// the chosen server. A failed round trip quarantines the chosen server
+// and retries (with backoff and a mapping-table refresh) up to
+// AccessRetries times before reporting the error.
 func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("cluster: client closed")
 	}
+	info := &AccessInfo{}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if !c.backoff(attempt - 1) {
+				return nil, fmt.Errorf("cluster: client closed during retry (last error: %v)", lastErr)
+			}
+			info.Retries++
+			// The table may have moved on (soft-state expiry of the dead
+			// server); don't wait for the periodic refresh.
+			c.Refresh()
+		}
+		err := c.accessOnce(serviceUs, payload, info)
+		if err == nil {
+			return info, nil
+		}
+		lastErr = err
+		if c.closed.Load() || attempt >= c.cfg.AccessRetries {
+			return nil, lastErr
+		}
+	}
+}
+
+// accessOnce runs one server-selection + service round trip.
+func (c *Client) accessOnce(serviceUs uint32, payload []byte, info *AccessInfo) error {
 	eps := c.Endpoints()
 	if len(eps) == 0 {
-		return nil, fmt.Errorf("cluster: no live endpoints for %q", c.cfg.Service)
+		return fmt.Errorf("cluster: no live endpoints for %q", c.cfg.Service)
 	}
-	info := &AccessInfo{}
+	// Selection skips quarantined servers; when everything is
+	// quarantined the client has nothing better than the full table.
+	live := c.liveEndpoints(eps)
+	pickFrom := live
+	if pickFrom == nil {
+		pickFrom = eps
+	}
+
 	var target Endpoint
 	var releaseIdx uint32
 	release := false
@@ -236,23 +445,25 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 	switch c.cfg.Policy.Kind {
 	case core.Random:
 		c.mu.Lock()
-		target = eps[c.rng.Intn(len(eps))]
+		target = pickFrom[c.rng.Intn(len(pickFrom))]
 		c.mu.Unlock()
 
 	case core.RoundRobin:
 		c.mu.Lock()
-		target = eps[c.rr.Next(len(eps))]
+		target = pickFrom[c.rr.Next(len(pickFrom))]
 		c.mu.Unlock()
 
 	case core.Ideal:
+		// The manager's view is the full table; quarantine is not
+		// consulted (the manager is the failure authority for Ideal).
 		idx, err := c.mgr.acquire()
 		if err != nil {
-			return nil, fmt.Errorf("cluster: manager acquire: %w", err)
+			return fmt.Errorf("cluster: manager acquire: %w", err)
 		}
 		if int(idx) >= len(eps) {
 			// Mapping table behind the manager's view; release and fail.
 			_ = c.mgr.release(idx)
-			return nil, fmt.Errorf("cluster: manager index %d beyond %d endpoints", idx, len(eps))
+			return fmt.Errorf("cluster: manager index %d beyond %d endpoints", idx, len(eps))
 		}
 		target = eps[idx]
 		releaseIdx, release = idx, true
@@ -261,11 +472,11 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 		// Message-free: pick the endpoint with the fewest of this
 		// client's own in-flight accesses (ablation A4).
 		c.mu.Lock()
-		loads := make([]int, len(eps))
-		for i, ep := range eps {
+		loads := make([]int, len(pickFrom))
+		for i, ep := range pickFrom {
 			loads[i] = c.outstanding[ep.NodeID]
 		}
-		target = eps[core.PickLeast(c.rng, loads)]
+		target = pickFrom[core.PickLeast(c.rng, loads)]
 		c.outstanding[target.NodeID]++
 		c.mu.Unlock()
 		defer func() {
@@ -276,13 +487,13 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 
 	case core.Poll:
 		var err error
-		target, err = c.pollAndPick(eps, info)
+		target, err = c.pollAndPick(eps, live, info)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 	default:
-		return nil, fmt.Errorf("cluster: policy %v unsupported in prototype", c.cfg.Policy)
+		return fmt.Errorf("cluster: policy %v unsupported in prototype", c.cfg.Policy)
 	}
 
 	req := &Request{
@@ -292,7 +503,8 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 		ServiceUs: serviceUs,
 		Payload:   payload,
 	}
-	resp, err := c.pool(target.AccessAddr).roundTrip(req, c.cfg.AccessTimeout)
+	resp, tripErr := c.pool(target.AccessAddr).roundTrip(req, c.cfg.AccessTimeout)
+	var err error = tripErr
 	if release {
 		// Report completion (or failure) back to the manager so the
 		// queue count is decremented, as in §4.
@@ -300,20 +512,65 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 			err = rerr
 		}
 	}
+	if tripErr != nil {
+		c.noteAccessFailure(target.NodeID)
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	info.Server = target.NodeID
 	info.Resp = resp
-	return info, nil
+	return nil
 }
 
-// pollAndPick implements the random polling policy (§3.1-3.2): send
-// load inquiries to PollSize random servers through connected UDP
-// sockets, collect answers asynchronously, optionally discarding those
-// not answered within DiscardAfter, and pick the least-loaded
-// respondent.
-func (c *Client) pollAndPick(eps []Endpoint, info *AccessInfo) (Endpoint, error) {
+// pollAndPick implements the random polling policy (§3.1-3.2) with
+// failure handling: poll PollSize random non-quarantined servers, and
+// if a whole round goes unanswered, back off and re-poll up to
+// PollRetries times before falling back to random selection. live is
+// the pre-filtered candidate list (nil when every server is
+// quarantined, in which case polling is pointless and the pick is
+// random over the full table).
+func (c *Client) pollAndPick(eps, live []Endpoint, info *AccessInfo) (Endpoint, error) {
+	if live == nil {
+		c.mu.Lock()
+		ep := eps[c.rng.Intn(len(eps))]
+		c.mu.Unlock()
+		return ep, nil
+	}
+	for round := 0; ; round++ {
+		ep, ok, err := c.pollOnce(live, info)
+		if err != nil {
+			return Endpoint{}, err
+		}
+		if ok {
+			return ep, nil
+		}
+		if round >= c.cfg.PollRetries {
+			break
+		}
+		info.Retries++
+		if !c.backoff(round) {
+			return Endpoint{}, fmt.Errorf("cluster: client closed during poll")
+		}
+		// Re-filter: the silent round may have quarantined servers.
+		if fresh := c.liveEndpoints(eps); fresh != nil {
+			live = fresh
+		}
+	}
+	// Every round was silence. Fall back to a random pick among the
+	// servers still believed live.
+	c.mu.Lock()
+	ep := live[c.rng.Intn(len(live))]
+	c.mu.Unlock()
+	return ep, nil
+}
+
+// pollOnce runs one poll round: send load inquiries to PollSize random
+// servers through connected UDP sockets, collect answers
+// asynchronously, discard those not answered within the deadline, and
+// pick the least-loaded respondent. ok is false when not a single
+// answer arrived in time.
+func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok bool, err error) {
 	d := c.cfg.Policy.PollSize
 	if d > len(eps) {
 		d = len(eps)
@@ -336,65 +593,95 @@ func (c *Client) pollAndPick(eps []Endpoint, info *AccessInfo) (Endpoint, error)
 	sent := 0
 	seqs := make([]uint32, 0, d)
 	agents := make([]*pollAgent, 0, d)
+	inFlight := make([]int, 0, d) // epIdx of every inquiry awaited (incl. injected losses)
 	for _, epIdx := range polled {
-		ep := eps[epIdx]
-		a, err := c.agent(ep.LoadAddr)
-		if err != nil {
+		target := eps[epIdx]
+		dropped, delay := c.links.PollFault(target.NodeID)
+		if dropped {
+			// Injected loss: the datagram left but never arrives. The
+			// client still waits for it until the deadline, and the
+			// silence counts against the server's health.
+			inFlight = append(inFlight, epIdx)
+			sent++
+			continue
+		}
+		a, agentErr := c.agent(target.LoadAddr)
+		if agentErr != nil {
+			c.noteSilent(target.NodeID)
 			continue // node vanished between refreshes; poll fewer
 		}
 		seq := c.seq.Add(1)
 		epIdx := epIdx
-		if err := a.inquire(seq, func(load int) {
+		deliver := func(load int) {
 			select {
 			case answers <- answer{epIdx: epIdx, load: load, rtt: time.Since(start)}:
 			default:
 			}
-		}); err != nil {
+		}
+		cb := deliver
+		if delay > 0 {
+			cb = func(load int) { time.AfterFunc(delay, func() { deliver(load) }) }
+		}
+		if err := a.inquire(seq, cb); err != nil {
+			// A refused send is the OS reporting the port dead
+			// (ICMP-backed ECONNREFUSED on a connected UDP socket).
+			c.noteSilent(target.NodeID)
 			continue
 		}
 		seqs = append(seqs, seq)
 		agents = append(agents, a)
+		inFlight = append(inFlight, epIdx)
 		sent++
 	}
-	info.Polled = sent
+	info.Polled += sent
 
 	deadline := c.cfg.PollTimeout
 	if da := c.cfg.Policy.DiscardAfter; da > 0 && da < deadline {
 		deadline = da
 	}
+	// A fresh timer every round: a retry must get the full deadline, not
+	// the remains of an already-fired one.
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
 
 	responses := make([]core.PollResponse, 0, sent)
+	answered := make(map[int]bool, sent)
 collect:
 	for len(responses) < sent {
 		select {
 		case ans := <-answers:
 			responses = append(responses, core.PollResponse{Server: ans.epIdx, Load: ans.load})
+			answered[ans.epIdx] = true
 			info.PollRTTs = append(info.PollRTTs, ans.rtt)
 		case <-timer.C:
 			break collect
 		case <-c.done:
-			return Endpoint{}, fmt.Errorf("cluster: client closed during poll")
+			return Endpoint{}, false, fmt.Errorf("cluster: client closed during poll")
 		}
 	}
 	// Abandon stragglers: their late answers are dropped by the agent.
 	for i, seq := range seqs {
 		agents[i].cancel(seq)
 	}
-	info.Answered = len(responses)
-	info.Discarded = sent - len(responses)
-	info.PollTime = time.Since(start)
+	info.Answered += len(responses)
+	info.Discarded += sent - len(responses)
+	info.PollTime += time.Since(start)
 
-	if sent == 0 {
-		// Every agent failed; fall back to a random live endpoint.
-		c.mu.Lock()
-		ep := eps[c.rng.Intn(len(eps))]
-		c.mu.Unlock()
-		return ep, nil
+	// Failure detection: an answer is proof of life; silence is a
+	// strike, and consecutive strikes quarantine.
+	for _, epIdx := range inFlight {
+		if answered[epIdx] {
+			c.noteAnswered(eps[epIdx].NodeID)
+		} else {
+			c.noteSilent(eps[epIdx].NodeID)
+		}
+	}
+
+	if len(responses) == 0 {
+		return Endpoint{}, false, nil
 	}
 	c.mu.Lock()
 	pick := core.PickFromPolls(c.rng, responses, polled)
 	c.mu.Unlock()
-	return eps[pick], nil
+	return eps[pick], true, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"finelb/internal/core"
+	"finelb/internal/faults"
 	"finelb/internal/stats"
 	"finelb/internal/workload"
 )
@@ -40,6 +41,16 @@ type ExperimentConfig struct {
 	// without changing the load level. Default 1.
 	TimeScale float64
 
+	// Faults, when non-nil, injects the schedule into the run: node
+	// events (crash/pause/resume) are replayed on the wall clock from
+	// the first arrival, scaled by TimeScale, and link faults are wired
+	// into every client. See internal/faults.
+	Faults *faults.Schedule
+	// DirTTL overrides the directory's soft-state TTL (default
+	// DefaultTTL); fault runs use a short TTL so crashed nodes expire
+	// quickly. Nodes republish at DirTTL/4.
+	DirTTL time.Duration
+
 	ServiceName string // default "translate"
 	Seed        uint64
 }
@@ -62,8 +73,13 @@ type ExperimentResult struct {
 	Polled    int64
 	Answered  int64
 	Discarded int64
+	Retries   int64 // poll re-rounds plus access re-attempts
 	Errors    int64
 	Overloads int64
+	// Lost counts accesses that never produced a response despite
+	// retries (same thing as Errors on the prototype, named to match
+	// the simulator's degraded-mode result).
+	Lost int64
 
 	PerServer []int64 // accesses served by each node (by index)
 	NodeStats []NodeStats
@@ -96,7 +112,10 @@ type Cluster struct {
 // client sees all servers in its mapping table.
 func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	cfg = cfg.withDefaults()
-	cl := &Cluster{Dir: NewDirectory(0)}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Dir: NewDirectory(cfg.DirTTL)}
 	fail := func(err error) (*Cluster, error) {
 		cl.Close()
 		return nil, err
@@ -112,15 +131,16 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.Servers; i++ {
 		n, err := StartNode(NodeConfig{
-			ID:        i,
-			Service:   cfg.ServiceName,
-			Workers:   cfg.Workers,
-			Spin:      cfg.Spin,
-			Directory: cl.Dir,
-			SlowProb:  cfg.SlowProb,
-			SlowDist:  cfg.SlowDist,
-			DropProb:  cfg.DropProb,
-			Seed:      cfg.Seed + uint64(i)*7919,
+			ID:              i,
+			Service:         cfg.ServiceName,
+			Workers:         cfg.Workers,
+			Spin:            cfg.Spin,
+			Directory:       cl.Dir,
+			PublishInterval: cfg.DirTTL / 4, // zero keeps the node default
+			SlowProb:        cfg.SlowProb,
+			SlowDist:        cfg.SlowDist,
+			DropProb:        cfg.DropProb,
+			Seed:            cfg.Seed + uint64(i)*7919,
 		})
 		if err != nil {
 			return fail(err)
@@ -133,14 +153,21 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 		mgrAddr = cl.Manager.Addr()
 	}
 	for i := 0; i < cfg.Clients; i++ {
-		c, err := NewClient(ClientConfig{
+		ccfg := ClientConfig{
 			ID:          i,
 			Directory:   cl.Dir,
 			Service:     cfg.ServiceName,
 			Policy:      cfg.Policy,
 			ManagerAddr: mgrAddr,
+			Faults:      cfg.Faults,
 			Seed:        cfg.Seed + 104729 + uint64(i)*31,
-		})
+		}
+		if cfg.DirTTL > 0 {
+			// Track the faster soft-state churn of a short-TTL directory.
+			ccfg.RefreshInterval = cfg.DirTTL / 4
+			ccfg.QuarantineFor = cfg.DirTTL
+		}
+		c, err := NewClient(ccfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -235,6 +262,23 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	var wg sync.WaitGroup
 	start := time.Now().Add(20 * time.Millisecond) // settle time before first arrival
 
+	if cfg.Faults != nil {
+		player := cfg.Faults.PlayAt(start, cfg.TimeScale, func(ev faults.NodeEvent) {
+			if ev.Node >= len(cl.Nodes) {
+				return
+			}
+			switch n := cl.Nodes[ev.Node]; ev.Kind {
+			case faults.Crash:
+				n.Close()
+			case faults.Pause:
+				n.Pause()
+			case faults.Resume:
+				n.Resume()
+			}
+		})
+		defer player.Stop()
+	}
+
 	for i, a := range trace {
 		i, a := i, a
 		client := cl.Clients[i%len(cl.Clients)]
@@ -259,6 +303,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			res.Polled += int64(info.Polled)
 			res.Answered += int64(info.Answered)
 			res.Discarded += int64(info.Discarded)
+			res.Retries += int64(info.Retries)
 			if i >= warmup {
 				res.Response.Add(elapsed.Seconds())
 				if cfg.Policy.Kind == core.Poll {
@@ -272,6 +317,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	}
 	wg.Wait()
 	res.WallTime = time.Since(start)
+	res.Lost = res.Errors
 	for _, n := range cl.Nodes {
 		res.NodeStats = append(res.NodeStats, n.Stats())
 	}

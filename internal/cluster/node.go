@@ -107,6 +107,13 @@ type Node struct {
 	done  chan struct{}
 	once  sync.Once
 
+	// Pause support (fault injection): while paused the node accepts and
+	// queues requests but serves nothing, answers no load inquiries, and
+	// stops heartbeating — a stalled process, not a dead one.
+	paused  atomic.Bool
+	pauseMu sync.Mutex
+	unpause chan struct{} // closed when not paused
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -186,6 +193,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		queue:   make(chan nodeTask, cfg.QueueCap),
 		done:    make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
+		unpause: closedChan(),
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -237,6 +245,61 @@ func (n *Node) Stats() NodeStats {
 	}
 }
 
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// Pause freezes the node (fault injection): workers stop pulling work,
+// load inquiries go unanswered, and heartbeats stop so the node's
+// directory entries expire at the TTL. Accepted requests stay queued.
+func (n *Node) Pause() {
+	n.pauseMu.Lock()
+	defer n.pauseMu.Unlock()
+	if n.paused.Load() {
+		return
+	}
+	n.unpause = make(chan struct{})
+	n.paused.Store(true)
+}
+
+// Resume lifts a Pause: workers drain the queue, inquiries are answered
+// again, and the node immediately re-publishes its endpoint so clients
+// rediscover it without waiting a full publish period.
+func (n *Node) Resume() {
+	n.pauseMu.Lock()
+	if !n.paused.Load() {
+		n.pauseMu.Unlock()
+		return
+	}
+	n.paused.Store(false)
+	close(n.unpause)
+	n.pauseMu.Unlock()
+	if n.cfg.Directory != nil || n.cfg.RemoteDir != nil {
+		n.publish()
+	}
+}
+
+// Paused reports whether the node is currently paused.
+func (n *Node) Paused() bool { return n.paused.Load() }
+
+// pauseGate blocks while the node is paused. It returns false when the
+// node shut down while waiting.
+func (n *Node) pauseGate() bool {
+	for n.paused.Load() {
+		n.pauseMu.Lock()
+		gate := n.unpause
+		n.pauseMu.Unlock()
+		select {
+		case <-n.done:
+			return false
+		case <-gate:
+		}
+	}
+	return true
+}
+
 // Close shuts the node down and waits for its goroutines to exit.
 // Requests still queued at shutdown are abandoned.
 func (n *Node) Close() error {
@@ -273,7 +336,9 @@ func (n *Node) publishLoop() {
 		case <-n.done:
 			return
 		case <-t.C:
-			n.publish()
+			if !n.paused.Load() {
+				n.publish()
+			}
 		}
 	}
 }
@@ -341,6 +406,9 @@ func (n *Node) worker() {
 		case <-n.done:
 			return
 		case task := <-n.queue:
+			if !n.pauseGate() {
+				return
+			}
 			payload := task.req.Payload // echo, like the paper's translation services
 			status := uint8(StatusOK)
 			if n.cfg.Handler != nil {
@@ -440,6 +508,12 @@ func (n *Node) loadIndexLoop() {
 		seq, err := DecodeInquiry(buf[:m])
 		if err != nil {
 			continue // ignore malformed datagrams
+		}
+		if n.paused.Load() {
+			// A stalled process answers nothing; the client's discard
+			// deadline (and quarantine) handles the silence.
+			n.dropped.Add(1)
+			continue
 		}
 		if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
 			n.dropped.Add(1)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"net"
 	"sync"
 )
@@ -41,7 +42,16 @@ func (a *pollAgent) readLoop() {
 	for {
 		m, err := a.conn.Read(buf)
 		if err != nil {
-			return // socket closed
+			if a.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read error. On Linux a poll to a crashed node's
+			// port comes back as ICMP port-unreachable, surfacing here as
+			// ECONNREFUSED on the connected socket; exiting would kill
+			// polling to this server forever even after it restarts. Keep
+			// reading — the next Read blocks until a datagram (or the next
+			// queued error) arrives, so this does not spin.
+			continue
 		}
 		seq, load, err := DecodeLoad(buf[:m])
 		if err != nil {
@@ -74,6 +84,12 @@ func (a *pollAgent) inquire(seq uint32, cb func(load int)) error {
 		return err
 	}
 	return nil
+}
+
+func (a *pollAgent) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
 }
 
 // cancel forgets an outstanding inquiry; a late answer is discarded.

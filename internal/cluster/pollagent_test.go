@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"finelb/internal/core"
+)
+
+// deafCluster boots n nodes that drop every load inquiry (DropProb 1)
+// but serve TCP accesses normally — silent on the poll path, alive on
+// the service path.
+func deafCluster(t *testing.T, n int) *Directory {
+	t.Helper()
+	d := NewDirectory(time.Minute)
+	for i := 0; i < n; i++ {
+		node, err := StartNode(NodeConfig{
+			ID: i, Service: "svc", Directory: d, Seed: uint64(i),
+			SlowProb: -1, DropProb: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+	}
+	return d
+}
+
+func TestPollSizeClampedToEndpoints(t *testing.T) {
+	d, _ := testCluster(t, 2, false)
+	c := newTestClient(t, d, core.NewPoll(5), "")
+	info, err := c.Access(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Polled != 2 {
+		t.Fatalf("poll size 5 against 2 endpoints sent %d inquiries, want 2", info.Polled)
+	}
+	if info.Answered != 2 || info.Discarded != 0 {
+		t.Fatalf("answered %d discarded %d", info.Answered, info.Discarded)
+	}
+}
+
+func TestPollTimeoutCountsDiscards(t *testing.T) {
+	d := deafCluster(t, 2)
+	c, err := NewClient(ClientConfig{
+		Directory: d, Service: "svc",
+		Policy:      core.NewPollDiscard(2, 40*time.Millisecond),
+		PollRetries: -1, // a single round, so the accounting is exact
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	info, err := c.Access(100, nil)
+	if err != nil {
+		t.Fatal(err) // random fallback must still complete the access
+	}
+	if info.Polled != 2 || info.Answered != 0 || info.Discarded != 2 {
+		t.Fatalf("polled %d answered %d discarded %d, want 2/0/2",
+			info.Polled, info.Answered, info.Discarded)
+	}
+	if info.PollTime < 40*time.Millisecond {
+		t.Fatalf("poll returned before the discard deadline: %v", info.PollTime)
+	}
+	if info.PollTime > 500*time.Millisecond {
+		t.Fatalf("poll ran far past the discard deadline: %v", info.PollTime)
+	}
+}
+
+func TestPollRetryAfterDryRound(t *testing.T) {
+	d := deafCluster(t, 2)
+	c, err := NewClient(ClientConfig{
+		Directory: d, Service: "svc",
+		Policy:          core.NewPollDiscard(2, 30*time.Millisecond),
+		QuarantineAfter: -1, // keep both rounds polling both servers
+		Seed:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	info, err := c.Access(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default PollRetries is 1: a dry first round is retried once, and
+	// each round gets a fresh full deadline (the second round must not
+	// inherit the first round's fired timer).
+	if info.Retries != 1 {
+		t.Fatalf("retries %d, want 1", info.Retries)
+	}
+	if info.Polled != 4 || info.Discarded != 4 {
+		t.Fatalf("polled %d discarded %d, want 4/4 across two rounds", info.Polled, info.Discarded)
+	}
+	if info.PollTime < 60*time.Millisecond {
+		t.Fatalf("two 30ms rounds finished in %v; retry reused a fired timer?", info.PollTime)
+	}
+}
+
+func TestQuarantineAfterConsecutiveTimeouts(t *testing.T) {
+	// Node 0 never answers inquiries; node 1 is healthy. After
+	// QuarantineAfter consecutive silences, node 0 must drop out of the
+	// poll set entirely.
+	dir := NewDirectory(time.Minute)
+	deaf, err := StartNode(NodeConfig{ID: 0, Service: "svc", Directory: dir, SlowProb: -1, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { deaf.Close() })
+	alive, err := StartNode(NodeConfig{ID: 1, Service: "svc", Directory: dir, SlowProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { alive.Close() })
+
+	c, err := NewClient(ClientConfig{
+		Directory: dir, Service: "svc",
+		Policy:          core.NewPollDiscard(2, 30*time.Millisecond),
+		PollRetries:     -1,
+		QuarantineAfter: 2,
+		QuarantineFor:   time.Minute,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Two accesses poll both servers and collect node 0's two strikes.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Access(100, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 0 is now quarantined: polls go only to node 1, instantly.
+	for i := 0; i < 5; i++ {
+		info, err := c.Access(100, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Polled != 1 || info.Server != 1 {
+			t.Fatalf("access %d: polled %d server %d, want the quarantine to pin node 1",
+				i, info.Polled, info.Server)
+		}
+		if info.Discarded != 0 {
+			t.Fatalf("access %d still discarding: %+v", i, info)
+		}
+	}
+}
+
+func TestNodePauseResume(t *testing.T) {
+	dir := NewDirectory(200 * time.Millisecond)
+	node, err := StartNode(NodeConfig{
+		ID: 0, Service: "svc", Directory: dir,
+		SlowProb: -1, PublishInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	c, err := NewClient(ClientConfig{
+		Directory: dir, Service: "svc", Policy: core.NewRandom(),
+		RefreshInterval: 20 * time.Millisecond, AccessRetries: -1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Access(100, nil); err != nil {
+		t.Fatalf("healthy access failed: %v", err)
+	}
+
+	node.Pause()
+	if !node.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+	// Heartbeats stop: the soft-state entry must expire at the TTL.
+	deadline := time.Now().Add(2 * time.Second)
+	for dir.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("paused node's directory entry never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// An access accepted while paused stays queued, not lost.
+	type result struct {
+		info *AccessInfo
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		// Static-endpoint client so the expired directory doesn't block
+		// the access from reaching the paused node's open socket.
+		pc, err := NewClient(ClientConfig{
+			StaticEndpoints: []Endpoint{node.Endpoint()},
+			Service:         "svc", Policy: core.NewRandom(),
+			AccessRetries: -1, Seed: 9,
+		})
+		if err != nil {
+			resCh <- result{nil, err}
+			return
+		}
+		defer pc.Close()
+		info, err := pc.Access(100, nil)
+		resCh <- result{info, err}
+	}()
+
+	select {
+	case r := <-resCh:
+		t.Fatalf("access completed against a paused node: %+v %v", r.info, r.err)
+	case <-time.After(150 * time.Millisecond):
+		// Still queued — the pause is holding it. Good.
+	}
+
+	node.Resume()
+	if node.Paused() {
+		t.Fatal("Paused() true after Resume")
+	}
+	select {
+	case r := <-resCh:
+		if r.err != nil {
+			t.Fatalf("queued access failed after resume: %v", r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued access never completed after resume")
+	}
+	// Resume re-publishes immediately, ahead of the publish period.
+	if dir.Len() == 0 {
+		t.Fatal("resumed node did not re-register")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+	"finelb/internal/faults"
+	"finelb/internal/simcluster"
+	"finelb/internal/workload"
+)
+
+// degradedTTL is the prototype directory TTL used for fault runs: short
+// enough that crashed nodes expire from the soft state within a run.
+const degradedTTL = 500 * time.Millisecond
+
+// Degraded measures the availability mechanisms of §3.1 under a canned
+// fault schedule: 2 of 16 nodes crash 40% of the way through the run
+// and every load inquiry is subject to 5% loss. Each policy is run
+// healthy and degraded on both substrates; with quarantine, retry and
+// backoff the degraded mean response should stay within a small factor
+// of healthy and no accepted access should be lost.
+func Degraded(o Options) (*Table, error) {
+	const servers = 16
+	const rho = 0.7
+	const lossProb = 0.05
+	policies := []core.Policy{
+		core.NewRandom(),
+		core.NewPollDiscard(2, DiscardThreshold),
+		core.NewPollDiscard(3, DiscardThreshold),
+	}
+	t := &Table{
+		ID:     "degraded",
+		Title:  "Degraded mode: kill 2 of 16 nodes mid-run, 5% poll loss (Medium-Grain, 70% busy)",
+		Header: []string{"Substrate", "Policy", "Healthy(ms)", "Degraded(ms)", "Ratio", "Lost", "Retries"},
+	}
+	// Medium-Grain keeps the prototype's aggregate access rate a few
+	// hundred per second: heavy enough to exercise the fault paths,
+	// light enough that one shared CPU never becomes the bottleneck
+	// (Fine-Grain at this scale measures host contention, not policy).
+	w := workload.MediumGrain().ScaledTo(servers, rho)
+
+	// Simulator half: identical arrival/service draws with and without
+	// the schedule, so the ratio isolates the faults.
+	accesses := pick(o, 100000, 20000)
+	simSeconds := float64(accesses) * w.Service.Mean() / (float64(servers) * rho)
+	simKill := time.Duration(0.4 * simSeconds * float64(time.Second))
+	simSched := faults.DegradedDemo(servers, 2, simKill, lossProb, o.Seed+1)
+	for _, p := range policies {
+		healthy, err := simcluster.Run(simcluster.Config{
+			Servers: servers, Workload: w, Policy: p,
+			Accesses: accesses, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		degraded, err := simcluster.Run(simcluster.Config{
+			Servers: servers, Workload: w, Policy: p,
+			Accesses: accesses, Seed: o.Seed,
+			Faults: simSched,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hm, dm := healthy.MeanResponse()*1e3, degraded.MeanResponse()*1e3
+		t.AddRow("sim", p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
+		o.progress("degraded: sim %s done (%.4g -> %.4g ms)", p, hm, dm)
+	}
+
+	// Prototype half: real sockets, so crashed nodes also produce
+	// connection errors that the retry path must absorb. Both runs use
+	// the short fault-mode TTL so only the schedule differs.
+	seconds := pick(o, 8.0, 2.0)
+	protoN := protoAccesses(w, servers, rho, seconds)
+	protoKill := time.Duration(0.4 * seconds * float64(time.Second))
+	protoSched := faults.DegradedDemo(servers, 2, protoKill, lossProb, o.Seed+1)
+	for _, p := range policies {
+		run := func(sched *faults.Schedule) (*cluster.ExperimentResult, error) {
+			return cluster.RunExperiment(cluster.ExperimentConfig{
+				Servers: servers, Clients: 6,
+				Workload: w, Policy: p,
+				Accesses: protoN, Seed: o.Seed,
+				Faults: sched, DirTTL: degradedTTL,
+			})
+		}
+		healthy, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		degraded, err := run(protoSched)
+		if err != nil {
+			return nil, err
+		}
+		hm, dm := healthy.MeanResponse()*1e3, degraded.MeanResponse()*1e3
+		t.AddRow("proto", p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
+		o.progress("degraded: proto %s done (%.4g -> %.4g ms)", p, hm, dm)
+	}
+
+	t.AddNote("after the crash the 14 survivors run at %.0f%% busy; quarantine (after %d silent polls) keeps the dead nodes out of poll sets until soft state expires",
+		100*rho*float64(servers)/float64(servers-2), faults.DefaultQuarantineAfter)
+	t.AddNote("Lost counts accesses that produced no response despite retries; polling policies should lose none")
+	return t, nil
+}

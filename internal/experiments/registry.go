@@ -29,6 +29,7 @@ var registry = map[string]registryEntry{
 	"failover":     {Failover, "Soft-state failover demonstration"},
 	"leastconn":    {LeastConn, "A4: client-local least-connections comparison"},
 	"burstiness":   {Burstiness, "A5: arrival burstiness sweep"},
+	"degraded":     {Degraded, "Degraded mode: crashes + poll loss on both substrates"},
 }
 
 // Get looks up an experiment by id.

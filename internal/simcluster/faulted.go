@@ -1,0 +1,407 @@
+package simcluster
+
+import (
+	"finelb/internal/core"
+	"finelb/internal/faults"
+	"finelb/internal/sim"
+	"finelb/internal/stats"
+)
+
+// DefaultPollTimeout mirrors the prototype client's PollTimeout: the
+// cap on waiting for poll answers when the policy sets no discard
+// threshold. Only the faulted runner needs it — in the healthy model
+// every inquiry is answered within its round trip.
+const DefaultPollTimeout = sim.Duration(sim.Second)
+
+// runFaulted executes one simulated experiment under a fault schedule.
+// It mirrors Run's model — same network constants, same server
+// mechanics, same RNG stream derivation — and adds the failure handling
+// that the prototype client implements: per-server quarantine fed by
+// consecutive silent polls, jittered-backoff poll retries, bounded
+// access retries after broken round trips, and random fallback when all
+// polled servers are quarantined.
+//
+// All fault decisions (link loss, backoff jitter) draw from a stream
+// derived from the schedule's own seed, so the same Schedule and the
+// same Config.Seed replay the exact same run.
+func runFaulted(cfg Config) (*Result, error) {
+	eng := sim.New()
+	master := stats.NewRNG(cfg.Seed)
+	arrivalRNG := master.Split()
+	policyRNG := master.Split()
+	jitterRNG := master.Split()
+	faultRNG := stats.NewRNG(cfg.Faults.Seed ^ 0x5eedfa017bad5eed)
+
+	res := &Result{
+		Config:   cfg,
+		Response: stats.NewSummary(true),
+		PollTime: stats.NewSummary(true),
+	}
+
+	servers := make([]*server, cfg.Servers)
+	for i := range servers {
+		speed := 1.0
+		if cfg.SpeedFactors != nil {
+			speed = cfg.SpeedFactors[i]
+		}
+		servers[i] = &server{eng: eng, speed: speed}
+		if cfg.RecordQueueSeries {
+			servers[i].series = &QSeries{}
+		}
+		servers[i].record()
+	}
+
+	// Replay node events on the simulated clock.
+	for _, ev := range cfg.Faults.Sorted() {
+		ev := ev
+		if ev.Node >= cfg.Servers {
+			continue
+		}
+		eng.At(sim.Time(sim.FromSeconds(ev.At.Seconds())), func() {
+			switch s := servers[ev.Node]; ev.Kind {
+			case faults.Crash:
+				s.crash()
+			case faults.Pause:
+				s.pause()
+			case faults.Resume:
+				s.resume()
+			}
+		})
+	}
+
+	// Per-client state.
+	rrs := make([]core.RoundRobinState, cfg.Clients)
+	var outstanding [][]int
+	if cfg.Policy.Kind == core.LocalLeast {
+		outstanding = make([][]int, cfg.Clients)
+		for i := range outstanding {
+			outstanding[i] = make([]int, cfg.Servers)
+		}
+	}
+
+	// Failure-detector state, per client per server, mirroring the
+	// prototype's serverHealth.
+	quarUntil := make([][]sim.Time, cfg.Clients)
+	strikes := make([][]int, cfg.Clients)
+	for i := range quarUntil {
+		quarUntil[i] = make([]sim.Time, cfg.Servers)
+		strikes[i] = make([]int, cfg.Servers)
+	}
+	quarFor := sim.FromSeconds(faults.DefaultQuarantineFor.Seconds())
+
+	quarantine := func(client, srv int) {
+		strikes[client][srv] = 0
+		quarUntil[client][srv] = eng.Now().Add(quarFor)
+	}
+	noteSilent := func(client, srv int) {
+		strikes[client][srv]++
+		if strikes[client][srv] >= faults.DefaultQuarantineAfter {
+			quarantine(client, srv)
+		}
+	}
+	noteAnswered := func(client, srv int) {
+		strikes[client][srv] = 0
+		quarUntil[client][srv] = 0
+	}
+	// candidates returns the servers this client has not quarantined,
+	// or nil when it has quarantined everything.
+	candidates := func(client int) []int {
+		now := eng.Now()
+		out := make([]int, 0, cfg.Servers)
+		for srv := 0; srv < cfg.Servers; srv++ {
+			if now < quarUntil[client][srv] {
+				continue
+			}
+			out = append(out, srv)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+
+	// linkFault decides the fate of one inquiry on the client→srv link.
+	linkFault := func(client, srv int) (drop bool, delay sim.Duration) {
+		rule, ok := cfg.Faults.Rule(client, srv)
+		if !ok {
+			return false, 0
+		}
+		if rule.Loss > 0 && faultRNG.Float64() < rule.Loss {
+			return true, 0
+		}
+		return false, sim.FromSeconds(rule.Latency.Seconds())
+	}
+
+	backoff := func(attempt int) sim.Duration {
+		base := faults.Backoff(faults.DefaultRetryBackoff, attempt)
+		jitter := 0.5 + faultRNG.Float64()
+		return sim.FromSeconds(base.Seconds() * jitter)
+	}
+
+	completed, lost := 0, 0
+	warmup := int(float64(cfg.Accesses) * cfg.WarmupFrac)
+	finish := func() {
+		if completed+lost == cfg.Accesses {
+			eng.Stop()
+		}
+	}
+
+	var handle func(idx, client, attempt int, start sim.Time, service sim.Duration)
+
+	// dispatch sends the access to srv. On a broken round trip (srv
+	// crashed before completing it) the client quarantines srv and
+	// re-runs server selection, up to DefaultAccessRetries times.
+	dispatch := func(idx, client, srv, attempt int, start sim.Time, service, pollDur sim.Duration) {
+		res.Messages.Dispatches++
+		servers[srv].committed++
+		if outstanding != nil {
+			outstanding[client][srv]++
+		}
+		settle := func() {
+			servers[srv].committed--
+			if outstanding != nil {
+				outstanding[client][srv]--
+			}
+		}
+		eng.After(cfg.ServiceNetDelay, func() {
+			servers[srv].arrive(job{
+				service: service,
+				done: func() {
+					eng.After(cfg.ServiceNetDelay, func() {
+						settle()
+						completed++
+						if idx >= warmup {
+							res.Response.Add(eng.Now().Sub(start).Seconds())
+							if cfg.Policy.Kind == core.Poll {
+								res.PollTime.Add(pollDur.Seconds())
+							}
+						}
+						finish()
+					})
+				},
+				fail: func() {
+					// The client sees the connection break a net delay
+					// later, quarantines the server, and retries.
+					eng.After(cfg.ServiceNetDelay, func() {
+						settle()
+						quarantine(client, srv)
+						if attempt >= faults.DefaultAccessRetries {
+							lost++
+							finish()
+							return
+						}
+						res.Retries++
+						eng.After(backoff(attempt), func() {
+							handle(idx, client, attempt+1, start, service)
+						})
+					})
+				},
+			})
+		})
+	}
+
+	pollScratch := make([]int, cfg.Servers)
+	pollDst := make([]int, cfg.Servers)
+
+	// pollRound runs one poll round over cands and either dispatches or
+	// (after DefaultPollRetries silent rounds) falls back to random.
+	var pollRound func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration)
+	pollRound = func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration) {
+		roundStart := eng.Now()
+		set := core.PollSet(policyRNG, len(cands), cfg.Policy.PollSize, pollDst, pollScratch)
+		polled := make([]int, len(set))
+		for i, ci := range set {
+			polled[i] = cands[ci]
+		}
+		res.Messages.PollRequests += int64(len(polled))
+
+		deadline := roundStart.Add(DefaultPollTimeout)
+		if da := cfg.Policy.DiscardAfter; da > 0 {
+			if dl := roundStart.Add(sim.FromSeconds(da.Seconds())); dl < deadline {
+				deadline = dl
+			}
+		}
+
+		responses := make([]core.PollResponse, 0, len(polled))
+		answered := make(map[int]bool, len(polled))
+
+		// decide closes the round — either when the last answer arrives
+		// (the client has all it asked for) or at the deadline, whichever
+		// comes first.
+		decided := false
+		decide := func() {
+			if decided {
+				return
+			}
+			decided = true
+			res.Messages.PollsDiscarded += int64(len(polled) - len(responses))
+			for _, srv := range polled {
+				if answered[srv] {
+					noteAnswered(client, srv)
+				} else {
+					noteSilent(client, srv)
+				}
+			}
+			pollDur := eng.Now().Sub(start)
+			if len(responses) > 0 {
+				srv := core.PickFromPolls(policyRNG, responses, polled)
+				dispatch(idx, client, srv, attempt, start, service, pollDur)
+				return
+			}
+			if round >= faults.DefaultPollRetries {
+				// Every round was silence: random fallback among the
+				// servers still believed live (or all, if none).
+				fresh := candidates(client)
+				var srv int
+				if fresh == nil {
+					srv = policyRNG.Intn(cfg.Servers)
+				} else {
+					srv = fresh[policyRNG.Intn(len(fresh))]
+				}
+				dispatch(idx, client, srv, attempt, start, service, pollDur)
+				return
+			}
+			res.Retries++
+			eng.After(backoff(round), func() {
+				fresh := candidates(client)
+				if fresh == nil {
+					dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, eng.Now().Sub(start))
+					return
+				}
+				pollRound(idx, client, attempt, round+1, fresh, start, service)
+			})
+		}
+
+		for _, srv := range polled {
+			srv := srv
+			drop, extra := linkFault(client, srv)
+			if drop {
+				continue // lost datagram: pure silence until the deadline
+			}
+			rtt := cfg.PollRTT + extra
+			if cfg.PollJitter != nil {
+				rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
+			}
+			respAt := roundStart.Add(rtt)
+			if respAt > deadline {
+				continue // answer would arrive too late; discarded
+			}
+			// The inquiry reaches the server halfway through the round
+			// trip; a crashed or stalled server never answers it. A live
+			// server's load is observed there, and the answer lands back
+			// at the client at respAt.
+			obsAt := respAt.Add(-sim.Duration((respAt.Sub(roundStart)) / 2))
+			eng.At(obsAt, func() {
+				s := servers[srv]
+				if s.down || s.paused {
+					return
+				}
+				load := s.active
+				eng.At(respAt, func() {
+					if decided {
+						return // late answer; the agent already discarded it
+					}
+					responses = append(responses, core.PollResponse{Server: srv, Load: load})
+					answered[srv] = true
+					res.Messages.PollResponses++
+					if len(responses) == len(polled) {
+						decide()
+					}
+				})
+			})
+		}
+
+		eng.At(deadline, decide)
+	}
+
+	handle = func(idx, client, attempt int, start sim.Time, service sim.Duration) {
+		cands := candidates(client)
+		pickFrom := cands
+		if pickFrom == nil {
+			// Everything quarantined: the full table is all there is.
+			pickFrom = make([]int, cfg.Servers)
+			for i := range pickFrom {
+				pickFrom[i] = i
+			}
+		}
+		switch cfg.Policy.Kind {
+		case core.Random:
+			dispatch(idx, client, pickFrom[policyRNG.Intn(len(pickFrom))], attempt, start, service, 0)
+
+		case core.RoundRobin:
+			dispatch(idx, client, pickFrom[rrs[client].Next(len(pickFrom))], attempt, start, service, 0)
+
+		case core.Ideal:
+			// The omniscient oracle routes around dead and stalled
+			// servers directly; quarantine is the clients' crutch, not
+			// the oracle's.
+			best, bestLoad := -1, 0
+			ties := 0
+			for i, s := range servers {
+				if s.down || s.paused {
+					continue
+				}
+				switch {
+				case best == -1 || s.committed < bestLoad:
+					best, bestLoad, ties = i, s.committed, 1
+				case s.committed == bestLoad:
+					// Reservoir tie-break, matching core.PickLeast.
+					ties++
+					if policyRNG.Intn(ties) == 0 {
+						best = i
+					}
+				}
+			}
+			if best == -1 {
+				best = pickFrom[policyRNG.Intn(len(pickFrom))]
+			}
+			dispatch(idx, client, best, attempt, start, service, 0)
+
+		case core.LocalLeast:
+			loads := make([]int, len(pickFrom))
+			for i, srv := range pickFrom {
+				loads[i] = outstanding[client][srv]
+			}
+			dispatch(idx, client, pickFrom[core.PickLeast(policyRNG, loads)], attempt, start, service, 0)
+
+		case core.Poll:
+			if cands == nil {
+				// All quarantined: skip the pointless poll, go random.
+				dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, 0)
+				return
+			}
+			pollRound(idx, client, attempt, 0, cands, start, service)
+		}
+	}
+
+	// Generate arrivals exactly as the healthy runner does.
+	stream := cfg.Workload.Stream(arrivalRNG.Uint64())
+	for i := 0; i < cfg.Accesses; i++ {
+		a := stream.Next()
+		i, client := i, i%cfg.Clients
+		eng.At(sim.Time(sim.FromSeconds(a.Arrival)), func() {
+			handle(i, client, 0, eng.Now(), sim.FromSeconds(a.Service))
+		})
+	}
+
+	eng.Run()
+
+	end := eng.Now().Seconds()
+	res.SimDuration = end
+	res.ServerUtilization = make([]float64, cfg.Servers)
+	var qsum float64
+	for i, s := range servers {
+		if end > 0 {
+			res.ServerUtilization[i] = s.busyTime.Seconds() / end
+		}
+		qsum += s.qavg.Finish(end)
+		if cfg.RecordQueueSeries {
+			res.QueueSeries = append(res.QueueSeries, s.series)
+		}
+	}
+	res.MeanQueueLength = qsum / float64(cfg.Servers)
+	// Accesses stranded on a paused-forever server drain no events, so
+	// the engine exits with them still frozen; they are lost too.
+	res.Lost = int64(cfg.Accesses - completed)
+	return res, nil
+}

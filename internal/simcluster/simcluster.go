@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"finelb/internal/core"
+	"finelb/internal/faults"
 	"finelb/internal/sim"
 	"finelb/internal/stats"
 	"finelb/internal/workload"
@@ -55,6 +56,13 @@ type Config struct {
 	// cost (nil); the jitter exists to exercise the discard logic in
 	// simulation tests.
 	PollJitter stats.Dist
+
+	// Faults, when non-nil, injects the schedule into the run: node
+	// events play out on the simulated clock and link faults apply to
+	// load inquiries. Fault handling (quarantine, backoff, bounded
+	// retries) mirrors the prototype client's, with the shared defaults
+	// from internal/faults. Unsupported with the Broadcast policy.
+	Faults *faults.Schedule
 
 	// Accesses is the number of service accesses to generate (default 100000).
 	Accesses int
@@ -104,6 +112,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Workload.Arrival == nil || c.Workload.Service == nil {
 		return c, fmt.Errorf("simcluster: incomplete workload")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return c, err
+		}
+		if c.Policy.Kind == core.Broadcast {
+			// Broadcast agents run on Every() timers that never drain, so
+			// a run with lost accesses would never terminate.
+			return c, fmt.Errorf("simcluster: Faults is unsupported with the Broadcast policy")
+		}
 	}
 	if c.SpeedFactors != nil {
 		if len(c.SpeedFactors) != c.Servers {
@@ -157,12 +175,22 @@ type Result struct {
 	QueueSeries []*QSeries
 	// SimDuration is the simulated run length in seconds.
 	SimDuration float64
+
+	// Lost counts accesses that never completed despite retries (always
+	// zero without Faults).
+	Lost int64
+	// Retries counts poll re-rounds plus access re-dispatches after
+	// failures (always zero without Faults).
+	Retries int64
 }
 
-// job is one queued access on a server.
+// job is one queued access on a server. fail, when non-nil, fires
+// instead of done if the server crashes with the job still held (or the
+// job arrives at a dead server).
 type job struct {
 	service sim.Duration
 	done    func()
+	fail    func()
 }
 
 // server models the paper's server: a FIFO queue feeding one
@@ -178,6 +206,16 @@ type server struct {
 	busyTime  sim.Duration
 	qavg      stats.TimeWeighted
 	series    *QSeries
+
+	// Fault-injection state (internal/faults); always false/zero in
+	// healthy runs.
+	down         bool
+	paused       bool
+	hasCur       bool
+	cur          job        // the job in service (cancellable on crash/pause)
+	curHandle    sim.Handle // its scheduled completion
+	curEnd       sim.Time   // when the job in service would complete
+	curRemaining sim.Duration
 }
 
 func (s *server) record() {
@@ -189,24 +227,36 @@ func (s *server) record() {
 }
 
 // arrive enqueues one access; done fires when its service completes.
-func (s *server) arrive(service sim.Duration, done func()) {
-	s.active++
-	s.record()
-	if s.busy {
-		s.pending = append(s.pending, job{service, done})
+// A job arriving at a crashed server fails immediately (the connection
+// is refused); one arriving at a paused server queues behind the
+// stalled processing unit.
+func (s *server) arrive(j job) {
+	if s.down {
+		if j.fail != nil {
+			j.fail()
+		}
 		return
 	}
-	s.start(job{service, done})
+	s.active++
+	s.record()
+	if s.busy || s.paused {
+		s.pending = append(s.pending, j)
+		return
+	}
+	s.start(j)
 }
 
 func (s *server) start(j job) {
 	s.busy = true
 	d := sim.Duration(float64(j.service) / s.speed)
 	s.busyTime += d
-	s.eng.After(d, func() { s.complete(j) })
+	s.cur, s.hasCur = j, true
+	s.curEnd = s.eng.Now().Add(d)
+	s.curHandle = s.eng.After(d, func() { s.complete(j) })
 }
 
 func (s *server) complete(j job) {
+	s.hasCur = false
 	s.active--
 	s.record()
 	s.busy = false
@@ -220,11 +270,79 @@ func (s *server) complete(j job) {
 	j.done()
 }
 
+// crash kills the server permanently: the in-service job and every
+// queued job fail (their client connections break) and the load index
+// drops to zero.
+func (s *server) crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.paused = false
+	if s.hasCur {
+		s.curHandle.Cancel()
+		if s.cur.fail != nil {
+			s.cur.fail()
+		}
+		s.hasCur = false
+	}
+	s.busy = false
+	for _, j := range s.pending {
+		if j.fail != nil {
+			j.fail()
+		}
+	}
+	s.pending = s.pending[:0]
+	s.active = 0
+	s.record()
+}
+
+// pause freezes the processing unit mid-job: the in-service job's
+// completion is suspended with its remaining demand intact, and no
+// queued job starts until resume.
+func (s *server) pause() {
+	if s.down || s.paused {
+		return
+	}
+	s.paused = true
+	if s.hasCur {
+		s.curHandle.Cancel()
+		s.curRemaining = s.curEnd.Sub(s.eng.Now())
+	}
+}
+
+// resume unfreezes the processing unit; the suspended job finishes its
+// remaining demand, then the queue drains normally.
+func (s *server) resume() {
+	if s.down || !s.paused {
+		return
+	}
+	s.paused = false
+	if s.hasCur {
+		j := s.cur
+		s.curEnd = s.eng.Now().Add(s.curRemaining)
+		s.curHandle = s.eng.After(s.curRemaining, func() { s.complete(j) })
+		return
+	}
+	if !s.busy && len(s.pending) > 0 {
+		next := s.pending[0]
+		copy(s.pending, s.pending[1:])
+		s.pending = s.pending[:len(s.pending)-1]
+		s.start(next)
+	}
+}
+
 // Run executes one simulated experiment and returns its measurements.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		// The faulted runner (faulted.go) carries the extra machinery —
+		// quarantine, retries, loss — so the healthy path here stays
+		// exactly the paper's model, draw for draw.
+		return runFaulted(cfg)
 	}
 	eng := sim.New()
 	master := stats.NewRNG(cfg.Seed)
@@ -305,7 +423,7 @@ func Run(cfg Config) (*Result, error) {
 			outstanding[client][srv]++
 		}
 		eng.After(cfg.ServiceNetDelay, func() {
-			servers[srv].arrive(service, func() {
+			servers[srv].arrive(job{service: service, done: func() {
 				eng.After(cfg.ServiceNetDelay, func() {
 					servers[srv].committed--
 					if outstanding != nil {
@@ -322,7 +440,7 @@ func Run(cfg Config) (*Result, error) {
 						eng.Stop()
 					}
 				})
-			})
+			}})
 		})
 	}
 
