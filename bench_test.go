@@ -9,25 +9,40 @@ package finelb_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"finelb/internal/experiments"
 )
 
 // benchExperiment runs one experiment driver at quick scale b.N times,
-// printing the resulting table on the first iteration.
+// printing the resulting table on the first iteration. When the
+// FINELB_BENCH_DIR environment variable names a directory, the first
+// iteration also drops a machine-readable BENCH_<id>.json record there
+// (CI uploads these as artifacts).
 func benchExperiment(b *testing.B, id string) {
 	run, err := experiments.Get(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		tbl, err := run(experiments.Options{Quick: true, Seed: uint64(i + 1)})
+		opts := experiments.Options{Quick: true, Seed: uint64(i + 1)}
+		start := time.Now()
+		tbl, err := run(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 && testing.Verbose() {
-			fmt.Print(tbl.String())
+		if i == 0 {
+			if dir := os.Getenv("FINELB_BENCH_DIR"); dir != "" {
+				rec := experiments.NewBenchRecord(id, opts, tbl, time.Since(start))
+				if err := experiments.WriteBenchRecord(dir, rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if testing.Verbose() {
+				fmt.Print(tbl.String())
+			}
 		}
 	}
 }

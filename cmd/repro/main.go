@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	repro [-quick] [-seed N] [-v] <experiment>... | all | list
+//	repro [-quick] [-seed N] [-v] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list
 //
 // Examples:
 //
 //	repro list
 //	repro -quick figure4
 //	repro table1 figure2 upperbound
-//	repro all                 # full-fidelity run (several minutes)
+//	repro -format=json -out results.json figure4 figure6
+//	repro -bench bench -quick all     # also drop BENCH_<id>.json records
+//	repro all                         # full-fidelity run (several minutes)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,62 +27,129 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced run lengths (~1 minute for the whole suite)")
-	seed := flag.Uint64("seed", 1, "random seed for all experiment streams")
-	verbose := flag.Bool("v", false, "print per-cell progress")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-quick] [-seed N] [-v] <experiment>... | all | list\n\nexperiments:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the command end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced run lengths (~1 minute for the whole suite)")
+	seed := fs.Uint64("seed", 1, "random seed for all experiment streams")
+	verbose := fs.Bool("v", false, "print per-cell progress")
+	format := fs.String("format", "text", "output format: text, json, or csv")
+	csv := fs.Bool("csv", false, "emit CSV (deprecated; same as -format=csv)")
+	out := fs.String("out", "", "write output to this file instead of stdout")
+	benchDir := fs.String("bench", "", "also write one BENCH_<id>.json record per experiment into this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", id, experiments.Describe(id))
+			desc, _ := experiments.Describe(id)
+			fmt.Fprintf(stderr, "  %-14s %s\n", id, desc)
 		}
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *csv {
+		*format = "csv"
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "repro: unknown format %q (want text, json, or csv)\n", *format)
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 1 {
 		switch ids[0] {
 		case "list":
 			for _, id := range experiments.IDs() {
-				fmt.Printf("%-14s %s\n", id, experiments.Describe(id))
+				desc, _ := experiments.Describe(id)
+				fmt.Fprintf(stdout, "%-14s %s\n", id, desc)
 			}
-			return
+			return 0
 		case "all":
 			ids = experiments.IDs()
 		}
 	}
 
+	dst := stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		outFile = f
+		dst = f
+	}
+
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.Progress = stderr
+	}
+	var tables []*experiments.Table
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, err)
+		if outFile != nil {
+			outFile.Close()
+		}
+		return 1
 	}
 	for _, id := range ids {
-		run, err := experiments.Get(id)
+		runner, err := experiments.Get(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			if outFile != nil {
+				outFile.Close()
+			}
+			return 2
 		}
 		start := time.Now()
-		tbl, err := run(opts)
+		tbl, err := runner(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
-			os.Exit(1)
+			return fail(fmt.Errorf("repro: %s failed: %w", id, err))
 		}
-		if *csv {
-			if err := tbl.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		wall := time.Since(start)
+		if *benchDir != "" {
+			rec := experiments.NewBenchRecord(id, opts, tbl, wall)
+			if err := experiments.WriteBenchRecord(*benchDir, rec); err != nil {
+				return fail(err)
 			}
-			continue
 		}
-		if err := tbl.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		switch *format {
+		case "json":
+			// Collected and emitted as one array after all runs.
+			tables = append(tables, tbl)
+		case "csv":
+			if err := tbl.WriteCSV(dst); err != nil {
+				return fail(err)
+			}
+		default:
+			if err := tbl.Render(dst); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(dst, "  (%s completed in %v)\n\n", id, wall.Round(time.Millisecond))
 		}
-		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if *format == "json" {
+		if err := experiments.WriteTablesJSON(dst, tables); err != nil {
+			return fail(err)
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -37,6 +37,7 @@ import (
 	"finelb/internal/core"
 	"finelb/internal/faults"
 	"finelb/internal/simcluster"
+	"finelb/internal/substrate"
 	"finelb/internal/workload"
 )
 
@@ -175,3 +176,20 @@ const (
 // "degraded" experiment: kill the first kills of n nodes at the given
 // offset, with uniform poll loss on every link.
 var DegradedDemo = faults.DegradedDemo
+
+// Substrate abstraction: one RunSpec executes on either the simulator
+// or the prototype, producing a RunResult with the measurements both
+// share — this is how experiment drivers run the same sweep on both
+// (see internal/substrate).
+type (
+	// Substrate executes substrate-independent runs.
+	Substrate = substrate.Substrate
+	// RunSpec describes one run in substrate-independent terms.
+	RunSpec = substrate.RunSpec
+	// RunResult carries the measurements common to both substrates.
+	RunResult = substrate.RunResult
+	// SimSubstrate is the discrete-event simulator substrate.
+	SimSubstrate = substrate.Sim
+	// ProtoSubstrate is the real-socket prototype substrate.
+	ProtoSubstrate = substrate.Proto
+)

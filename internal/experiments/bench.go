@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// BenchRecord is one machine-readable benchmark data point: enough to
+// plot an experiment's performance trajectory across commits without
+// parsing rendered tables. Records land as BENCH_<experiment>.json.
+type BenchRecord struct {
+	// Experiment is the registry id ("figure4", "degraded", ...).
+	Experiment string `json:"experiment"`
+	// ConfigDigest fingerprints the run configuration (experiment id,
+	// scale, and column schema) so trajectory points are only compared
+	// when the configuration matches; the seed is reported separately.
+	ConfigDigest string `json:"config_digest"`
+	Seed         uint64 `json:"seed"`
+	Quick        bool   `json:"quick"`
+	// WallSeconds is the experiment's wall-clock running time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Metrics holds the per-numeric-column means of the experiment's
+	// table, keyed "mean:<column>", plus the row count under "rows".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NewBenchRecord summarizes one completed experiment run.
+func NewBenchRecord(id string, o Options, tbl *Table, wall time.Duration) BenchRecord {
+	rec := BenchRecord{
+		Experiment:  id,
+		Seed:        o.Seed,
+		Quick:       o.Quick,
+		WallSeconds: wall.Seconds(),
+		Metrics:     map[string]float64{"rows": float64(len(tbl.Rows))},
+	}
+	for c, h := range tbl.Header {
+		sum, n := 0.0, 0
+		for _, row := range tbl.Rows {
+			if c >= len(row) {
+				continue
+			}
+			if f, ok := row[c].Float(); ok {
+				sum += f
+				n++
+			}
+		}
+		if n > 0 {
+			rec.Metrics["mean:"+h] = sum / float64(n)
+		}
+	}
+	d := sha256.Sum256([]byte(fmt.Sprintf("%s|quick=%t|header=%v", id, o.Quick, tbl.Header)))
+	rec.ConfigDigest = hex.EncodeToString(d[:8])
+	return rec
+}
+
+// WriteBenchRecord writes rec to dir/BENCH_<experiment>.json, creating
+// dir if needed.
+func WriteBenchRecord(dir string, rec BenchRecord) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, "BENCH_"+rec.Experiment+".json")
+	return os.WriteFile(name, append(buf, '\n'), 0o644)
+}

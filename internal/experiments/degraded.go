@@ -3,10 +3,9 @@ package experiments
 import (
 	"time"
 
-	"finelb/internal/cluster"
 	"finelb/internal/core"
 	"finelb/internal/faults"
-	"finelb/internal/simcluster"
+	"finelb/internal/substrate"
 	"finelb/internal/workload"
 )
 
@@ -17,9 +16,10 @@ const degradedTTL = 500 * time.Millisecond
 // Degraded measures the availability mechanisms of §3.1 under a canned
 // fault schedule: 2 of 16 nodes crash 40% of the way through the run
 // and every load inquiry is subject to 5% loss. Each policy is run
-// healthy and degraded on both substrates; with quarantine, retry and
-// backoff the degraded mean response should stay within a small factor
-// of healthy and no accepted access should be lost.
+// healthy and degraded on both substrates through the same driver; with
+// quarantine, retry and backoff the degraded mean response should stay
+// within a small factor of healthy and no accepted access should be
+// lost.
 func Degraded(o Options) (*Table, error) {
 	const servers = 16
 	const rho = 0.7
@@ -40,60 +40,48 @@ func Degraded(o Options) (*Table, error) {
 	// (Fine-Grain at this scale measures host contention, not policy).
 	w := workload.MediumGrain().ScaledTo(servers, rho)
 
-	// Simulator half: identical arrival/service draws with and without
-	// the schedule, so the ratio isolates the faults.
-	accesses := pick(o, 100000, 20000)
-	simSeconds := float64(accesses) * w.Service.Mean() / (float64(servers) * rho)
-	simKill := time.Duration(0.4 * simSeconds * float64(time.Second))
-	simSched := faults.DegradedDemo(servers, 2, simKill, lossProb, o.Seed+1)
-	for _, p := range policies {
-		healthy, err := simcluster.Run(simcluster.Config{
-			Servers: servers, Workload: w, Policy: p,
-			Accesses: accesses, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		degraded, err := simcluster.Run(simcluster.Config{
-			Servers: servers, Workload: w, Policy: p,
-			Accesses: accesses, Seed: o.Seed,
-			Faults: simSched,
-		})
-		if err != nil {
-			return nil, err
-		}
-		hm, dm := healthy.MeanResponse()*1e3, degraded.MeanResponse()*1e3
-		t.AddRow("sim", p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
-		o.progress("degraded: sim %s done (%.4g -> %.4g ms)", p, hm, dm)
-	}
-
-	// Prototype half: real sockets, so crashed nodes also produce
-	// connection errors that the retry path must absorb. Both runs use
+	// Simulator cells run identical arrival/service draws with and
+	// without the schedule, so the ratio isolates the faults. Prototype
+	// cells use real sockets, so crashed nodes also produce connection
+	// errors that the retry path must absorb; both prototype runs use
 	// the short fault-mode TTL so only the schedule differs.
-	seconds := pick(o, 8.0, 2.0)
-	protoN := protoAccesses(w, servers, rho, seconds)
-	protoKill := time.Duration(0.4 * seconds * float64(time.Second))
-	protoSched := faults.DegradedDemo(servers, 2, protoKill, lossProb, o.Seed+1)
-	for _, p := range policies {
-		run := func(sched *faults.Schedule) (*cluster.ExperimentResult, error) {
-			return cluster.RunExperiment(cluster.ExperimentConfig{
-				Servers: servers, Clients: 6,
-				Workload: w, Policy: p,
-				Accesses: protoN, Seed: o.Seed,
-				Faults: sched, DirTTL: degradedTTL,
-			})
+	simAccesses := pick(o, 100000, 20000)
+	simSeconds := float64(simAccesses) * w.Service.Mean() / (float64(servers) * rho)
+	protoSeconds := pick(o, 8.0, 2.0)
+	matrix := []struct {
+		sub      substrate.Substrate
+		accesses int
+		killAt   time.Duration
+		dirTTL   time.Duration
+	}{
+		{substrate.Sim{}, simAccesses,
+			time.Duration(0.4 * simSeconds * float64(time.Second)), 0},
+		{substrate.Proto{}, protoAccesses(w, servers, rho, protoSeconds),
+			time.Duration(0.4 * protoSeconds * float64(time.Second)), degradedTTL},
+	}
+	for _, m := range matrix {
+		sched := faults.DegradedDemo(servers, 2, m.killAt, lossProb, o.Seed+1)
+		for _, p := range policies {
+			run := func(sched *faults.Schedule) (*substrate.RunResult, error) {
+				return m.sub.Run(substrate.RunSpec{
+					Servers: servers, Clients: 6,
+					Workload: w, Policy: p,
+					Accesses: m.accesses, Seed: o.Seed,
+					Faults: sched, DirTTL: m.dirTTL,
+				})
+			}
+			healthy, err := run(nil)
+			if err != nil {
+				return nil, err
+			}
+			degraded, err := run(sched)
+			if err != nil {
+				return nil, err
+			}
+			hm, dm := healthy.MeanResponse*1e3, degraded.MeanResponse*1e3
+			t.AddRow(m.sub.Name(), p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
+			o.progress("degraded: %s %s done (%.4g -> %.4g ms)", m.sub.Name(), p, hm, dm)
 		}
-		healthy, err := run(nil)
-		if err != nil {
-			return nil, err
-		}
-		degraded, err := run(protoSched)
-		if err != nil {
-			return nil, err
-		}
-		hm, dm := healthy.MeanResponse()*1e3, degraded.MeanResponse()*1e3
-		t.AddRow("proto", p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
-		o.progress("degraded: proto %s done (%.4g -> %.4g ms)", p, hm, dm)
 	}
 
 	t.AddNote("after the crash the 14 survivors run at %.0f%% busy; quarantine (after %d silent polls) keeps the dead nodes out of poll sets until soft state expires",

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func demoTable() *Table {
+	tbl := &Table{ID: "demo", Title: "emitter demo", Header: []string{"name", "ms", "count"}}
+	tbl.AddRow("alpha", 1.23456789, 3)
+	tbl.AddRow("beta", 2.5, 5)
+	tbl.AddNote("a note")
+	return tbl
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := demoTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string   `json:"id"`
+		Title  string   `json:"title"`
+		Header []string `json:"header"`
+		Rows   [][]any  `json:"rows"`
+		Notes  []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got.ID != "demo" || got.Title != "emitter demo" || len(got.Notes) != 1 {
+		t.Errorf("metadata wrong: %+v", got)
+	}
+	if len(got.Rows) != 2 || len(got.Rows[0]) != 3 {
+		t.Fatalf("rows wrong: %+v", got.Rows)
+	}
+	// Numeric cells must survive as JSON numbers at full precision, not
+	// as %.4g strings.
+	if v, ok := got.Rows[0][1].(float64); !ok || v != 1.23456789 {
+		t.Errorf("float cell = %#v, want 1.23456789", got.Rows[0][1])
+	}
+	if v, ok := got.Rows[0][2].(float64); !ok || v != 3 {
+		t.Errorf("int cell = %#v, want 3", got.Rows[0][2])
+	}
+	if s, ok := got.Rows[0][0].(string); !ok || s != "alpha" {
+		t.Errorf("string cell = %#v", got.Rows[0][0])
+	}
+}
+
+func TestWriteTablesJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTablesJSON(&b, []*Table{demoTable(), demoTable()}); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		ID   string  `json:"id"`
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(got) != 2 || got[1].ID != "demo" {
+		t.Fatalf("array wrong: %+v", got)
+	}
+}
+
+func TestValueFloat(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("s", 1.5, 7, time.Second)
+	row := tbl.Rows[0]
+	if _, ok := row[0].Float(); ok {
+		t.Error("string cell reported numeric")
+	}
+	if f, ok := row[1].Float(); !ok || f != 1.5 {
+		t.Errorf("float cell: %v %v", f, ok)
+	}
+	if f, ok := row[2].Float(); !ok || f != 7 {
+		t.Errorf("int cell: %v %v", f, ok)
+	}
+	// Unknown types stringify (time.Duration renders "1s").
+	if row[3].String() != "1s" {
+		t.Errorf("duration cell = %q", row[3].String())
+	}
+}
+
+func TestBenchRecord(t *testing.T) {
+	o := Options{Quick: true, Seed: 42}
+	rec := NewBenchRecord("demo", o, demoTable(), 1500*time.Millisecond)
+	if rec.Experiment != "demo" || rec.Seed != 42 || !rec.Quick {
+		t.Errorf("identity fields wrong: %+v", rec)
+	}
+	if rec.WallSeconds != 1.5 {
+		t.Errorf("wall = %v", rec.WallSeconds)
+	}
+	if rec.ConfigDigest == "" {
+		t.Error("empty config digest")
+	}
+	if rec.Metrics["rows"] != 2 {
+		t.Errorf("rows metric = %v", rec.Metrics["rows"])
+	}
+	if got := rec.Metrics["mean:ms"]; got != (1.23456789+2.5)/2 {
+		t.Errorf("mean:ms = %v", got)
+	}
+	if got := rec.Metrics["mean:count"]; got != 4 {
+		t.Errorf("mean:count = %v", got)
+	}
+	if _, ok := rec.Metrics["mean:name"]; ok {
+		t.Error("non-numeric column got a mean")
+	}
+	// Same configuration -> same digest; different scale -> different.
+	again := NewBenchRecord("demo", o, demoTable(), time.Second)
+	if again.ConfigDigest != rec.ConfigDigest {
+		t.Error("digest not stable across runs of the same config")
+	}
+	full := NewBenchRecord("demo", Options{Seed: 42}, demoTable(), time.Second)
+	if full.ConfigDigest == rec.ConfigDigest {
+		t.Error("quick and full runs share a config digest")
+	}
+
+	dir := t.TempDir()
+	if err := WriteBenchRecord(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_demo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRecord
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("invalid record JSON: %v\n%s", err, buf)
+	}
+	if back.Experiment != rec.Experiment || back.ConfigDigest != rec.ConfigDigest ||
+		back.Metrics["mean:ms"] != rec.Metrics["mean:ms"] {
+		t.Errorf("round trip changed the record:\n%+v\nvs\n%+v", back, rec)
+	}
+}

@@ -37,7 +37,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 	for r, row := range tbl.Rows {
 		ok := true
 		for c, want := range match {
-			if row[c] != want {
+			if row[c].String() != want {
 				ok = false
 				break
 			}
@@ -59,15 +59,15 @@ func TestRegistry(t *testing.T) {
 		if _, err := Get(id); err != nil {
 			t.Errorf("Get(%q): %v", id, err)
 		}
-		if Describe(id) == "" {
-			t.Errorf("no description for %q", id)
+		if desc, err := Describe(id); err != nil || desc == "" {
+			t.Errorf("Describe(%q) = %q, %v", id, desc, err)
 		}
 	}
 	if _, err := Get("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if Describe("nope") != "" {
-		t.Error("description for unknown id")
+	if _, err := Describe("nope"); err == nil {
+		t.Error("Describe accepted an unknown id")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"finelb/internal/cluster"
 	"finelb/internal/core"
+	"finelb/internal/substrate"
 	"finelb/internal/workload"
 )
 
@@ -29,60 +30,23 @@ func protoAccesses(w workload.Workload, servers int, rho, targetSeconds float64)
 
 // Figure6 regenerates Figure 6: the poll-size sweep on the prototype —
 // real UDP load inquiries, real TCP accesses, the §3.2 contention model
-// active — for 16 servers across load levels.
+// active — for 16 servers across load levels. Same driver as Figure 4,
+// different substrate.
 func Figure6(o Options) (*Table, error) {
-	servers := 16
 	seconds := pick(o, 8.0, 2.2)
-	loads := pick(o, paperLoads, []float64{0.9})
-	t, err := pollSizeSweepPolicies(o, "figure6",
+	t, err := pollSizeSweep(o, substrate.Proto{}, "figure6",
 		"Impact of poll size, prototype with 16 servers (real sockets), mean response time in ms",
 		pick(o, core.PaperFigurePolicies(), []core.Policy{
 			core.NewRandom(), core.NewPoll(2), core.NewPoll(8), core.NewIdeal(),
 		}),
-		func(w workload.Workload, rho float64, p core.Policy) (float64, error) {
-			res, err := cluster.RunExperiment(cluster.ExperimentConfig{
-				Servers: servers, Clients: 6,
-				Workload: w.ScaledTo(servers, rho), Policy: p,
-				Accesses: protoAccesses(w, servers, rho, seconds),
-				Seed:     o.Seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.MeanResponse() * 1e3, nil
-		}, loads)
+		pick(o, paperLoads, []float64{0.9}),
+		func(w workload.Workload, rho float64) int {
+			return protoAccesses(w, sweepServers, rho, seconds)
+		})
 	if err != nil {
 		return nil, err
 	}
 	t.AddNote("results are without discarding slow polls, as in the paper's Figure 6")
-	return t, nil
-}
-
-// pollSizeSweepPolicies is pollSizeSweep with an explicit policy list
-// (the quick prototype sweep uses a reduced set).
-func pollSizeSweepPolicies(o Options, id, title string, policies []core.Policy,
-	runCell func(w workload.Workload, rho float64, p core.Policy) (float64, error),
-	loads []float64) (*Table, error) {
-
-	t := &Table{ID: id, Title: title}
-	t.Header = []string{"Workload", "Busy"}
-	for _, p := range policies {
-		t.Header = append(t.Header, p.String())
-	}
-	for _, w := range workload.Paper() {
-		for _, rho := range loads {
-			row := []any{w.Name, fmt.Sprintf("%.0f%%", rho*100)}
-			for _, p := range policies {
-				v, err := runCell(w, rho, p)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, v)
-				o.progress("%s: %s busy=%.0f%% %s done (%.4g ms)", id, w.Name, rho*100, p, v)
-			}
-			t.AddRow(row...)
-		}
-	}
 	return t, nil
 }
 

@@ -51,10 +51,12 @@ func IDs() []string {
 	return out
 }
 
-// Describe returns the one-line description of an experiment id.
-func Describe(id string) string {
-	if e, ok := registry[id]; ok {
-		return e.desc
+// Describe returns the one-line description of an experiment id, or an
+// error for ids the registry does not know.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (try one of %v)", id, IDs())
 	}
-	return ""
+	return e.desc, nil
 }

@@ -7,6 +7,7 @@ import (
 	"finelb/internal/core"
 	"finelb/internal/queueing"
 	"finelb/internal/simcluster"
+	"finelb/internal/substrate"
 	"finelb/internal/workload"
 )
 
@@ -144,47 +145,14 @@ func Figure3(o Options) (*Table, error) {
 // mean response time (ms) for random, poll sizes 2/3/4/8, and IDEAL on
 // 16 servers across server load levels, for all three workloads.
 func Figure4(o Options) (*Table, error) {
-	return pollSizeSweep(o, "figure4",
+	accesses := pick(o, 120000, 15000)
+	t, err := pollSizeSweep(o, substrate.Sim{}, "figure4",
 		"Impact of poll size with 16 servers (simulation), mean response time in ms",
-		func(w workload.Workload, rho float64, p core.Policy, accesses int) (float64, error) {
-			res, err := simcluster.Run(simcluster.Config{
-				Servers: 16, Workload: w.ScaledTo(16, rho), Policy: p,
-				Accesses: accesses, Seed: o.Seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.MeanResponse() * 1e3, nil
-		},
-		pick(o, 120000, 15000),
-		pick(o, paperLoads, []float64{0.5, 0.9}))
-}
-
-// pollSizeSweep renders the random/poll-2/3/4/8/ideal matrix common to
-// Figures 4 and 6. runCell returns the mean response time in ms.
-func pollSizeSweep(o Options, id, title string,
-	runCell func(w workload.Workload, rho float64, p core.Policy, accesses int) (float64, error),
-	accesses int, loads []float64) (*Table, error) {
-
-	policies := core.PaperFigurePolicies()
-	t := &Table{ID: id, Title: title}
-	t.Header = []string{"Workload", "Busy"}
-	for _, p := range policies {
-		t.Header = append(t.Header, p.String())
-	}
-	for _, w := range workload.Paper() {
-		for _, rho := range loads {
-			row := []any{w.Name, fmt.Sprintf("%.0f%%", rho*100)}
-			for _, p := range policies {
-				v, err := runCell(w, rho, p, accesses)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, v)
-				o.progress("%s: %s busy=%.0f%% %s done (%.4g ms)", id, w.Name, rho*100, p, v)
-			}
-			t.AddRow(row...)
-		}
+		core.PaperFigurePolicies(),
+		pick(o, paperLoads, []float64{0.5, 0.9}),
+		func(workload.Workload, float64) int { return accesses })
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: poll size 2 performs close to IDEAL; larger poll sizes add little (and, on the prototype, hurt fine-grain workloads)")
 	return t, nil

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finelb/internal/core"
+	"finelb/internal/substrate"
+	"finelb/internal/workload"
+)
+
+// sweepServers is the cluster size of the paper's poll-size sweeps
+// (Figures 4 and 6).
+const sweepServers = 16
+
+// pollSizeSweep renders the random/poll-2/3/4/8/ideal matrix common to
+// Figures 4 and 6: one generic driver, parameterized by the substrate
+// that executes its cells, so the simulation and prototype sweeps are
+// the same code measuring different machinery. accesses sizes each
+// cell (the prototype scales cells to wall time; the simulator uses a
+// flat count). Cells are mean response times in ms.
+func pollSizeSweep(o Options, sub substrate.Substrate, id, title string,
+	policies []core.Policy, loads []float64,
+	accesses func(w workload.Workload, rho float64) int) (*Table, error) {
+
+	t := &Table{ID: id, Title: title}
+	t.Header = []string{"Workload", "Busy"}
+	for _, p := range policies {
+		t.Header = append(t.Header, p.String())
+	}
+	for _, w := range workload.Paper() {
+		for _, rho := range loads {
+			row := []any{w.Name, fmt.Sprintf("%.0f%%", rho*100)}
+			for _, p := range policies {
+				res, err := sub.Run(substrate.RunSpec{
+					Servers:  sweepServers,
+					Workload: w.ScaledTo(sweepServers, rho),
+					Policy:   p,
+					Accesses: accesses(w, rho),
+					Seed:     o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				v := res.MeanResponse * 1e3
+				row = append(row, v)
+				o.progress("%s: %s busy=%.0f%% %s done (%.4g ms)", id, w.Name, rho*100, p, v)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

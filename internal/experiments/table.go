@@ -5,33 +5,80 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 	"text/tabwriter"
 )
 
+// Value is one typed table cell: a float64, an int64, or a string.
+// Keeping cells typed rather than pre-formatted lets the JSON emitter
+// publish machine-readable numbers at full precision while the text
+// and CSV renderers keep the familiar %.4g formatting.
+type Value struct{ v any }
+
+// String formats the cell for text and CSV output: floats with %.4g,
+// everything else verbatim.
+func (v Value) String() string {
+	switch x := v.v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// Float returns the cell's numeric value (integers widen) and whether
+// the cell is numeric at all.
+func (v Value) Float() (float64, bool) {
+	switch x := v.v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// MarshalJSON emits the underlying typed value: JSON numbers for
+// numeric cells, strings otherwise.
+func (v Value) MarshalJSON() ([]byte, error) { return json.Marshal(v.v) }
+
 // Table is a printable experiment result: a titled grid with notes.
 type Table struct {
 	ID     string
 	Title  string
 	Header []string
-	Rows   [][]string
+	Rows   [][]Value
 	Notes  []string
 }
 
-// AddRow appends a row, formatting each cell: floats with %.4g,
-// everything else with %v.
+// AddRow appends a row, normalizing each cell to a typed Value:
+// floating-point values stay float64, integer values become int64,
+// everything else is stringified.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]Value, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
+		switch x := c.(type) {
+		case Value:
+			row[i] = x
 		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row[i] = Value{x}
+		case float32:
+			row[i] = Value{float64(x)}
+		case int:
+			row[i] = Value{int64(x)}
+		case int32:
+			row[i] = Value{int64(x)}
+		case int64:
+			row[i] = Value{x}
 		case string:
-			row[i] = v
+			row[i] = Value{x}
 		default:
-			row[i] = fmt.Sprint(v)
+			row[i] = Value{fmt.Sprint(x)}
 		}
 	}
 	t.Rows = append(t.Rows, row)
@@ -52,7 +99,11 @@ func (t *Table) Render(w io.Writer) error {
 		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
 	}
 	for _, row := range t.Rows {
-		fmt.Fprintln(tw, strings.Join(row, "\t"))
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.String()
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -73,9 +124,9 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Cell returns the cell at (row, col); it panics on out-of-range
-// indices, which in tests is the desired failure mode.
-func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+// Cell returns the formatted cell at (row, col); it panics on
+// out-of-range indices, which in tests is the desired failure mode.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col].String() }
 
 // Options control experiment scale and reproducibility.
 type Options struct {
@@ -104,7 +155,8 @@ func pick[T any](o Options, full, quick T) T {
 }
 
 // WriteCSV emits the table as RFC-4180-ish CSV (header then rows),
-// for plotting the figures outside Go.
+// for plotting the figures outside Go. Cells are formatted exactly as
+// in text output.
 func (t *Table) WriteCSV(w io.Writer) error {
 	writeRow := func(cells []string) error {
 		for i, c := range cells {
@@ -129,9 +181,51 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.String()
+		}
+		if err := writeRow(cells); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// tableJSON is the machine-readable table schema (EXPERIMENTS.md):
+// numeric cells are JSON numbers at full precision, not the %.4g
+// strings of the text renderer.
+type tableJSON struct {
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	Header []string  `json:"header"`
+	Rows   [][]Value `json:"rows"`
+	Notes  []string  `json:"notes,omitempty"`
+}
+
+func (t *Table) asJSON() tableJSON {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]Value{}
+	}
+	return tableJSON{t.ID, t.Title, t.Header, rows, t.Notes}
+}
+
+// WriteJSON emits the table as one indented JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.asJSON())
+}
+
+// WriteTablesJSON emits tables as one JSON array — the cmd/repro
+// -format=json output, always an array even for a single experiment.
+func WriteTablesJSON(w io.Writer, tables []*Table) error {
+	arr := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		arr[i] = t.asJSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
 }

@@ -110,6 +110,13 @@ func (s *Schedule) Validate() error {
 	return nil
 }
 
+// Active reports whether the schedule actually injects anything. A nil
+// or empty schedule is inert: runners treat it exactly like no schedule
+// at all, so the healthy fast path stays bit-identical.
+func (s *Schedule) Active() bool {
+	return s != nil && (len(s.Events) > 0 || len(s.Links) > 0)
+}
+
 // Sorted returns a copy of the events ordered by offset (stable, so
 // same-instant events keep their declaration order).
 func (s *Schedule) Sorted() []NodeEvent {

@@ -137,11 +137,10 @@ func TestFaultedLinkLatencyDiscards(t *testing.T) {
 	}
 }
 
-func TestFaultedEmptyScheduleMatchesHealthyClose(t *testing.T) {
-	// An empty schedule routes through the faulted runner but injects
-	// nothing: its mean response must sit very close to the healthy
-	// runner's (the decision timing model is the same; only RNG stream
-	// consumption differs in degenerate ways).
+func TestEmptyScheduleBitIdenticalToHealthy(t *testing.T) {
+	// An inert schedule (no events, no links) takes the healthy fast
+	// path: with the unified runner the results are not merely close but
+	// bit-identical, draw for draw.
 	w := workload.PoissonExp(0.05).ScaledTo(8, 0.6)
 	healthy := run(t, Config{
 		Servers: 8, Workload: w,
@@ -157,8 +156,12 @@ func TestFaultedEmptyScheduleMatchesHealthyClose(t *testing.T) {
 	if faulted.Lost != 0 || faulted.Retries != 0 {
 		t.Fatalf("empty schedule caused lost=%d retries=%d", faulted.Lost, faulted.Retries)
 	}
-	hm, fm := healthy.MeanResponse(), faulted.MeanResponse()
-	if fm > hm*1.1 || fm < hm*0.9 {
-		t.Fatalf("empty-schedule faulted run drifted from healthy: %.4f vs %.4f", fm, hm)
+	if healthy.MeanResponse() != faulted.MeanResponse() ||
+		healthy.Response.Percentile(0.99) != faulted.Response.Percentile(0.99) ||
+		healthy.Messages != faulted.Messages ||
+		healthy.MeanQueueLength != faulted.MeanQueueLength ||
+		healthy.SimDuration != faulted.SimDuration {
+		t.Fatalf("empty-schedule run diverged from healthy:\n%+v\nvs\n%+v",
+			faulted.Messages, healthy.Messages)
 	}
 }

@@ -1,0 +1,99 @@
+package simcluster
+
+import (
+	"finelb/internal/faults"
+	"finelb/internal/sim"
+	"finelb/internal/stats"
+)
+
+// clientFaults is the failure-detector state of a faulted run,
+// mirroring the prototype client's serverHealth: per-client per-server
+// quarantine fed by consecutive silent polls, link-fault decisions, and
+// jittered retry backoff. Run allocates it only when the schedule is
+// active, so healthy runs carry none of it.
+//
+// All fault decisions (link loss, backoff jitter) draw from a stream
+// derived from the schedule's own seed, so the same Schedule and the
+// same Config.Seed replay the exact same run.
+type clientFaults struct {
+	eng     *sim.Engine
+	sched   *faults.Schedule
+	rng     *stats.RNG // link-loss draws and backoff jitter
+	servers int
+
+	quarUntil [][]sim.Time // per client, per server
+	strikes   [][]int
+	quarFor   sim.Duration
+}
+
+func newClientFaults(eng *sim.Engine, sched *faults.Schedule, clients, servers int) *clientFaults {
+	f := &clientFaults{
+		eng:     eng,
+		sched:   sched,
+		rng:     stats.NewRNG(sched.Seed ^ 0x5eedfa017bad5eed),
+		servers: servers,
+		quarFor: sim.FromSeconds(faults.DefaultQuarantineFor.Seconds()),
+	}
+	f.quarUntil = make([][]sim.Time, clients)
+	f.strikes = make([][]int, clients)
+	for i := range f.quarUntil {
+		f.quarUntil[i] = make([]sim.Time, servers)
+		f.strikes[i] = make([]int, servers)
+	}
+	return f
+}
+
+func (f *clientFaults) quarantine(client, srv int) {
+	f.strikes[client][srv] = 0
+	f.quarUntil[client][srv] = f.eng.Now().Add(f.quarFor)
+}
+
+// noteSilent records one unanswered inquiry; enough consecutive
+// silences put the server on the client's quarantine list.
+func (f *clientFaults) noteSilent(client, srv int) {
+	f.strikes[client][srv]++
+	if f.strikes[client][srv] >= faults.DefaultQuarantineAfter {
+		f.quarantine(client, srv)
+	}
+}
+
+func (f *clientFaults) noteAnswered(client, srv int) {
+	f.strikes[client][srv] = 0
+	f.quarUntil[client][srv] = 0
+}
+
+// candidates returns the servers this client has not quarantined, or
+// nil when it has quarantined everything.
+func (f *clientFaults) candidates(client int) []int {
+	now := f.eng.Now()
+	out := make([]int, 0, f.servers)
+	for srv := 0; srv < f.servers; srv++ {
+		if now < f.quarUntil[client][srv] {
+			continue
+		}
+		out = append(out, srv)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// pollFault decides the fate of one inquiry on the client→srv link.
+func (f *clientFaults) pollFault(client, srv int) (drop bool, delay sim.Duration) {
+	rule, ok := f.sched.Rule(client, srv)
+	if !ok {
+		return false, 0
+	}
+	if rule.Loss > 0 && f.rng.Float64() < rule.Loss {
+		return true, 0
+	}
+	return false, sim.FromSeconds(rule.Latency.Seconds())
+}
+
+// backoff returns the jittered wait before retry number attempt.
+func (f *clientFaults) backoff(attempt int) sim.Duration {
+	base := faults.Backoff(faults.DefaultRetryBackoff, attempt)
+	jitter := 0.5 + f.rng.Float64()
+	return sim.FromSeconds(base.Seconds() * jitter)
+}

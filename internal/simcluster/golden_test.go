@@ -1,0 +1,165 @@
+package simcluster
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"finelb/internal/core"
+	"finelb/internal/workload"
+)
+
+// The golden-seed regression harness pins the healthy runner's exact
+// output: digests of 3 seeds x 3 workloads were captured on the
+// pre-unification healthy path (commit 81fd25e) and the fault-aware
+// runner must reproduce them bit for bit. Regenerate deliberately with
+//
+//	go test ./internal/simcluster -run TestGoldenSeeds -update-golden
+//
+// only when an intentional model change is being made, and say so in
+// the commit message.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current runner")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenDigest is the full-precision fingerprint of one healthy run.
+// Floats survive the JSON round trip exactly (shortest-round-trip
+// encoding), so == comparisons below are bit-level.
+type goldenDigest struct {
+	Case string `json:"case"`
+	Seed uint64 `json:"seed"`
+
+	MeanResponse    float64      `json:"mean_response"`
+	P50Response     float64      `json:"p50_response"`
+	P95Response     float64      `json:"p95_response"`
+	P99Response     float64      `json:"p99_response"`
+	ResponseN       int64        `json:"response_n"`
+	PollTimeMean    float64      `json:"poll_time_mean"`
+	PollTimeN       int64        `json:"poll_time_n"`
+	Messages        MessageCount `json:"messages"`
+	Utilization     []float64    `json:"utilization"`
+	MeanQueueLength float64      `json:"mean_queue_length"`
+	SimDuration     float64      `json:"sim_duration"`
+	Lost            int64        `json:"lost"`
+	Retries         int64        `json:"retries"`
+}
+
+func digestOf(name string, seed uint64, res *Result) goldenDigest {
+	return goldenDigest{
+		Case:            name,
+		Seed:            seed,
+		MeanResponse:    res.Response.Mean(),
+		P50Response:     res.Response.Percentile(0.50),
+		P95Response:     res.Response.Percentile(0.95),
+		P99Response:     res.Response.Percentile(0.99),
+		ResponseN:       res.Response.N(),
+		PollTimeMean:    res.PollTime.Mean(),
+		PollTimeN:       res.PollTime.N(),
+		Messages:        res.Messages,
+		Utilization:     res.ServerUtilization,
+		MeanQueueLength: res.MeanQueueLength,
+		SimDuration:     res.SimDuration,
+		Lost:            res.Lost,
+		Retries:         res.Retries,
+	}
+}
+
+// goldenCases covers the three evaluation workloads with the poll
+// variants whose decision path the fault-aware unification touches most
+// (plain polling, slow-poll discard, poll-all).
+func goldenCases() []struct {
+	name     string
+	workload workload.Workload
+	policy   core.Policy
+} {
+	return []struct {
+		name     string
+		workload workload.Workload
+		policy   core.Policy
+	}{
+		{"poissonexp-poll2", workload.PoissonExp(workload.PoissonExpServiceMean).ScaledTo(16, 0.8), core.NewPoll(2)},
+		{"mediumgrain-poll3discard", workload.MediumGrain().ScaledTo(16, 0.8), core.NewPollDiscard(3, 10*time.Millisecond)},
+		{"finegrain-poll8", workload.FineGrain().ScaledTo(16, 0.8), core.NewPoll(8)},
+	}
+}
+
+var goldenSeeds = []uint64{1, 2, 3}
+
+func runGolden(t *testing.T) []goldenDigest {
+	t.Helper()
+	var out []goldenDigest
+	for _, c := range goldenCases() {
+		for _, seed := range goldenSeeds {
+			res, err := Run(Config{
+				Servers: 16, Workload: c.workload, Policy: c.policy,
+				Accesses: 12000, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", c.name, seed, err)
+			}
+			out = append(out, digestOf(c.name, seed, res))
+		}
+	}
+	return out
+}
+
+func TestGoldenSeeds(t *testing.T) {
+	got := runGolden(t)
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden digests (run with -update-golden to capture): %v", err)
+	}
+	var want []goldenDigest
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d digests, harness produced %d", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Case != w.Case || g.Seed != w.Seed {
+			t.Fatalf("digest %d is %s/%d, want %s/%d (case list changed without -update-golden?)",
+				i, g.Case, g.Seed, w.Case, w.Seed)
+		}
+		if g.MeanResponse != w.MeanResponse || g.P50Response != w.P50Response ||
+			g.P95Response != w.P95Response || g.P99Response != w.P99Response ||
+			g.ResponseN != w.ResponseN ||
+			g.PollTimeMean != w.PollTimeMean || g.PollTimeN != w.PollTimeN ||
+			g.Messages != w.Messages ||
+			g.MeanQueueLength != w.MeanQueueLength || g.SimDuration != w.SimDuration ||
+			g.Lost != w.Lost || g.Retries != w.Retries {
+			t.Errorf("%s seed %d: healthy run is no longer bit-identical\n got %+v\nwant %+v",
+				w.Case, w.Seed, g, w)
+			continue
+		}
+		if len(g.Utilization) != len(w.Utilization) {
+			t.Errorf("%s seed %d: utilization length %d vs %d", w.Case, w.Seed, len(g.Utilization), len(w.Utilization))
+			continue
+		}
+		for s := range g.Utilization {
+			if g.Utilization[s] != w.Utilization[s] {
+				t.Errorf("%s seed %d: server %d utilization %v, want %v",
+					w.Case, w.Seed, s, g.Utilization[s], w.Utilization[s])
+			}
+		}
+	}
+}

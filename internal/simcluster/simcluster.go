@@ -33,6 +33,14 @@ const (
 	DefaultBroadcastDelay = 145 * sim.Microsecond
 )
 
+// DefaultPollTimeout caps how long a client waits for poll answers when
+// the policy sets no (or a longer) discard threshold, mirroring the
+// prototype client's poll deadline. The cap applies uniformly to
+// healthy and faulted runs (DESIGN.md §5); in the healthy model every
+// answer arrives within its ~290 us round trip, so it only binds when
+// fault injection or extreme PollJitter delays answers.
+const DefaultPollTimeout = sim.Duration(sim.Second)
+
 // Config describes one simulated run.
 type Config struct {
 	Servers  int
@@ -333,16 +341,20 @@ func (s *server) resume() {
 }
 
 // Run executes one simulated experiment and returns its measurements.
+//
+// One runner serves every run. When the fault schedule is absent or
+// inert (faults.Schedule.Active() == false), none of the failure
+// machinery is allocated and the run takes exactly the paper model's
+// RNG draws — the golden-seed harness (golden_test.go) pins this bit
+// for bit. With an active schedule the same runner adds the failure
+// handling that the prototype client implements: per-server quarantine
+// fed by consecutive silent polls, jittered-backoff poll retries,
+// bounded access retries after broken round trips, and random fallback
+// when all polled servers are quarantined.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Faults != nil {
-		// The faulted runner (faulted.go) carries the extra machinery —
-		// quarantine, retries, loss — so the healthy path here stays
-		// exactly the paper's model, draw for draw.
-		return runFaulted(cfg)
 	}
 	eng := sim.New()
 	master := stats.NewRNG(cfg.Seed)
@@ -367,6 +379,30 @@ func Run(cfg Config) (*Result, error) {
 			servers[i].series = &QSeries{}
 		}
 		servers[i].record()
+	}
+
+	// Fault machinery, allocated only for an active schedule: the
+	// healthy path pays nothing and draws nothing extra.
+	var ft *clientFaults
+	if cfg.Faults.Active() {
+		ft = newClientFaults(eng, cfg.Faults, cfg.Clients, cfg.Servers)
+		// Replay node events on the simulated clock.
+		for _, ev := range cfg.Faults.Sorted() {
+			ev := ev
+			if ev.Node >= cfg.Servers {
+				continue
+			}
+			eng.At(sim.Time(sim.FromSeconds(ev.At.Seconds())), func() {
+				switch s := servers[ev.Node]; ev.Kind {
+				case faults.Crash:
+					s.crash()
+				case faults.Pause:
+					s.pause()
+				case faults.Resume:
+					s.resume()
+				}
+			})
+		}
 	}
 
 	// Per-client state.
@@ -412,123 +448,339 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// dispatch sends an access to srv and records its response time when
-	// the reply returns to the client.
-	completed := 0
+	completed, lost := 0, 0
 	warmup := int(float64(cfg.Accesses) * cfg.WarmupFrac)
-	dispatch := func(idx, client, srv int, start sim.Time, service sim.Duration, pollDur sim.Duration) {
+	finish := func() {
+		if completed+lost == cfg.Accesses {
+			eng.Stop()
+		}
+	}
+
+	var handle func(idx, client, attempt int, start sim.Time, service sim.Duration)
+
+	// dispatch sends the access to srv and records its response time
+	// when the reply returns to the client. Under faults, a broken round
+	// trip (srv crashed before completing it) makes the client
+	// quarantine srv and re-run server selection, up to
+	// DefaultAccessRetries times.
+	dispatch := func(idx, client, srv, attempt int, start sim.Time, service, pollDur sim.Duration) {
 		res.Messages.Dispatches++
 		servers[srv].committed++
 		if outstanding != nil {
 			outstanding[client][srv]++
 		}
-		eng.After(cfg.ServiceNetDelay, func() {
-			servers[srv].arrive(job{service: service, done: func() {
+		settle := func() {
+			servers[srv].committed--
+			if outstanding != nil {
+				outstanding[client][srv]--
+			}
+		}
+		j := job{service: service, done: func() {
+			eng.After(cfg.ServiceNetDelay, func() {
+				settle()
+				completed++
+				if idx >= warmup {
+					res.Response.Add(eng.Now().Sub(start).Seconds())
+					if cfg.Policy.Kind == core.Poll {
+						res.PollTime.Add(pollDur.Seconds())
+					}
+				}
+				finish()
+			})
+		}}
+		if ft != nil {
+			j.fail = func() {
+				// The client sees the connection break a net delay
+				// later, quarantines the server, and retries.
 				eng.After(cfg.ServiceNetDelay, func() {
-					servers[srv].committed--
-					if outstanding != nil {
-						outstanding[client][srv]--
+					settle()
+					ft.quarantine(client, srv)
+					if attempt >= faults.DefaultAccessRetries {
+						lost++
+						finish()
+						return
 					}
-					completed++
-					if idx >= warmup {
-						res.Response.Add(eng.Now().Sub(start).Seconds())
-						if cfg.Policy.Kind == core.Poll {
-							res.PollTime.Add(pollDur.Seconds())
-						}
-					}
-					if completed == cfg.Accesses {
-						eng.Stop()
-					}
+					res.Retries++
+					eng.After(ft.backoff(attempt), func() {
+						handle(idx, client, attempt+1, start, service)
+					})
 				})
-			}})
-		})
+			}
+		}
+		eng.After(cfg.ServiceNetDelay, func() { servers[srv].arrive(j) })
 	}
 
 	pollScratch := make([]int, cfg.Servers)
 	pollDst := make([]int, cfg.Servers)
 
-	// handle runs the policy decision for one access.
-	handle := func(idx, client int, service sim.Duration) {
-		start := eng.Now()
+	// healthyPoll is the paper's poll round: every inquiry is answered
+	// within its round trip, so the decision closes when the last
+	// answer is due (capped uniformly by DefaultPollTimeout and the
+	// policy's discard threshold).
+	healthyPoll := func(idx, client int, start sim.Time, service sim.Duration) {
+		set := core.PollSet(policyRNG, cfg.Servers, cfg.Policy.PollSize, pollDst, pollScratch)
+		polled := append([]int(nil), set...)
+		res.Messages.PollRequests += int64(len(polled))
+
+		// Sample each poll's round trip up front; the response value
+		// is observed at the server halfway through.
+		type pendingPoll struct {
+			srv  int
+			resp sim.Time
+		}
+		polls := make([]pendingPoll, len(polled))
+		var latest sim.Time
+		for i, srv := range polled {
+			rtt := cfg.PollRTT
+			if cfg.PollJitter != nil {
+				rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
+			}
+			respAt := start.Add(rtt)
+			polls[i] = pendingPoll{srv: srv, resp: respAt}
+			if respAt > latest {
+				latest = respAt
+			}
+		}
+		deadline := latest
+		if dl := start.Add(DefaultPollTimeout); dl < deadline {
+			deadline = dl
+		}
+		if d := cfg.Policy.DiscardAfter; d > 0 {
+			if dl := start.Add(sim.FromSeconds(d.Seconds())); dl < deadline {
+				deadline = dl
+			}
+		}
+		responses := make([]core.PollResponse, 0, len(polled))
+		for _, p := range polls {
+			p := p
+			if p.resp > deadline {
+				res.Messages.PollsDiscarded++
+				continue
+			}
+			// Observe the server's load index when the inquiry
+			// reaches it (half the round trip in).
+			obsAt := p.resp.Add(-sim.Duration((p.resp.Sub(start)) / 2))
+			eng.At(obsAt, func() {
+				responses = append(responses, core.PollResponse{
+					Server: p.srv, Load: servers[p.srv].active,
+				})
+				res.Messages.PollResponses++
+			})
+		}
+		eng.At(deadline, func() {
+			srv := core.PickFromPolls(policyRNG, responses, polled)
+			dispatch(idx, client, srv, 0, start, service, deadline.Sub(start))
+		})
+	}
+
+	// pollRound is the fault-aware poll round over the unquarantined
+	// candidates: silent servers (crashed, stalled, or behind a lossy
+	// link) never answer, so it either dispatches on the answers it got
+	// or (after DefaultPollRetries silent rounds) falls back to random.
+	var pollRound func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration)
+	pollRound = func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration) {
+		roundStart := eng.Now()
+		set := core.PollSet(policyRNG, len(cands), cfg.Policy.PollSize, pollDst, pollScratch)
+		polled := make([]int, len(set))
+		for i, ci := range set {
+			polled[i] = cands[ci]
+		}
+		res.Messages.PollRequests += int64(len(polled))
+
+		deadline := roundStart.Add(DefaultPollTimeout)
+		if da := cfg.Policy.DiscardAfter; da > 0 {
+			if dl := roundStart.Add(sim.FromSeconds(da.Seconds())); dl < deadline {
+				deadline = dl
+			}
+		}
+
+		responses := make([]core.PollResponse, 0, len(polled))
+		answered := make(map[int]bool, len(polled))
+
+		// decide closes the round — either when the last answer arrives
+		// (the client has all it asked for) or at the deadline, whichever
+		// comes first.
+		decided := false
+		decide := func() {
+			if decided {
+				return
+			}
+			decided = true
+			res.Messages.PollsDiscarded += int64(len(polled) - len(responses))
+			for _, srv := range polled {
+				if answered[srv] {
+					ft.noteAnswered(client, srv)
+				} else {
+					ft.noteSilent(client, srv)
+				}
+			}
+			pollDur := eng.Now().Sub(start)
+			if len(responses) > 0 {
+				srv := core.PickFromPolls(policyRNG, responses, polled)
+				dispatch(idx, client, srv, attempt, start, service, pollDur)
+				return
+			}
+			if round >= faults.DefaultPollRetries {
+				// Every round was silence: random fallback among the
+				// servers still believed live (or all, if none).
+				fresh := ft.candidates(client)
+				var srv int
+				if fresh == nil {
+					srv = policyRNG.Intn(cfg.Servers)
+				} else {
+					srv = fresh[policyRNG.Intn(len(fresh))]
+				}
+				dispatch(idx, client, srv, attempt, start, service, pollDur)
+				return
+			}
+			res.Retries++
+			eng.After(ft.backoff(round), func() {
+				fresh := ft.candidates(client)
+				if fresh == nil {
+					dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, eng.Now().Sub(start))
+					return
+				}
+				pollRound(idx, client, attempt, round+1, fresh, start, service)
+			})
+		}
+
+		for _, srv := range polled {
+			srv := srv
+			drop, extra := ft.pollFault(client, srv)
+			if drop {
+				continue // lost datagram: pure silence until the deadline
+			}
+			rtt := cfg.PollRTT + extra
+			if cfg.PollJitter != nil {
+				rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
+			}
+			respAt := roundStart.Add(rtt)
+			if respAt > deadline {
+				continue // answer would arrive too late; discarded
+			}
+			// The inquiry reaches the server halfway through the round
+			// trip; a crashed or stalled server never answers it. A live
+			// server's load is observed there, and the answer lands back
+			// at the client at respAt.
+			obsAt := respAt.Add(-sim.Duration((respAt.Sub(roundStart)) / 2))
+			eng.At(obsAt, func() {
+				s := servers[srv]
+				if s.down || s.paused {
+					return
+				}
+				load := s.active
+				eng.At(respAt, func() {
+					if decided {
+						return // late answer; the agent already discarded it
+					}
+					responses = append(responses, core.PollResponse{Server: srv, Load: load})
+					answered[srv] = true
+					res.Messages.PollResponses++
+					if len(responses) == len(polled) {
+						decide()
+					}
+				})
+			})
+		}
+
+		eng.At(deadline, decide)
+	}
+
+	// handle runs the policy decision for one access. The healthy
+	// branch is the paper's model, draw for draw; the faulted branch
+	// filters quarantined servers first.
+	handle = func(idx, client, attempt int, start sim.Time, service sim.Duration) {
+		if ft == nil {
+			switch cfg.Policy.Kind {
+			case core.Random:
+				dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, 0)
+
+			case core.RoundRobin:
+				dispatch(idx, client, rrs[client].Next(cfg.Servers), attempt, start, service, 0)
+
+			case core.Ideal:
+				// Accurate load indexes acquired free of cost (§2): the
+				// oracle sees committed work, matching the prototype's
+				// centralized manager which increments on assignment.
+				loads := make([]int, cfg.Servers)
+				for i, s := range servers {
+					loads[i] = s.committed
+				}
+				dispatch(idx, client, core.PickLeast(policyRNG, loads), attempt, start, service, 0)
+
+			case core.LocalLeast:
+				dispatch(idx, client, core.PickLeast(policyRNG, outstanding[client]), attempt, start, service, 0)
+
+			case core.Broadcast:
+				tbl := tables[client]
+				srv := tbl.PickLeast(policyRNG)
+				if cfg.Policy.LocalCorrection {
+					tbl.Increment(srv)
+				}
+				dispatch(idx, client, srv, attempt, start, service, 0)
+
+			case core.Poll:
+				healthyPoll(idx, client, start, service)
+			}
+			return
+		}
+
+		cands := ft.candidates(client)
+		pickFrom := cands
+		if pickFrom == nil {
+			// Everything quarantined: the full table is all there is.
+			pickFrom = make([]int, cfg.Servers)
+			for i := range pickFrom {
+				pickFrom[i] = i
+			}
+		}
 		switch cfg.Policy.Kind {
 		case core.Random:
-			dispatch(idx, client, policyRNG.Intn(cfg.Servers), start, service, 0)
+			dispatch(idx, client, pickFrom[policyRNG.Intn(len(pickFrom))], attempt, start, service, 0)
 
 		case core.RoundRobin:
-			dispatch(idx, client, rrs[client].Next(cfg.Servers), start, service, 0)
+			dispatch(idx, client, pickFrom[rrs[client].Next(len(pickFrom))], attempt, start, service, 0)
 
 		case core.Ideal:
-			// Accurate load indexes acquired free of cost (§2): the
-			// oracle sees committed work, matching the prototype's
-			// centralized manager which increments on assignment.
-			loads := make([]int, cfg.Servers)
+			// The omniscient oracle routes around dead and stalled
+			// servers directly; quarantine is the clients' crutch, not
+			// the oracle's.
+			best, bestLoad := -1, 0
+			ties := 0
 			for i, s := range servers {
-				loads[i] = s.committed
-			}
-			dispatch(idx, client, core.PickLeast(policyRNG, loads), start, service, 0)
-
-		case core.LocalLeast:
-			dispatch(idx, client, core.PickLeast(policyRNG, outstanding[client]), start, service, 0)
-
-		case core.Broadcast:
-			tbl := tables[client]
-			srv := tbl.PickLeast(policyRNG)
-			if cfg.Policy.LocalCorrection {
-				tbl.Increment(srv)
-			}
-			dispatch(idx, client, srv, start, service, 0)
-
-		case core.Poll:
-			set := core.PollSet(policyRNG, cfg.Servers, cfg.Policy.PollSize, pollDst, pollScratch)
-			polled := append([]int(nil), set...)
-			res.Messages.PollRequests += int64(len(polled))
-
-			// Sample each poll's round trip up front; the response value
-			// is observed at the server halfway through.
-			type pendingPoll struct {
-				srv  int
-				resp sim.Time
-			}
-			polls := make([]pendingPoll, len(polled))
-			var latest sim.Time
-			for i, srv := range polled {
-				rtt := cfg.PollRTT
-				if cfg.PollJitter != nil {
-					rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
-				}
-				respAt := start.Add(rtt)
-				polls[i] = pendingPoll{srv: srv, resp: respAt}
-				if respAt > latest {
-					latest = respAt
-				}
-			}
-			deadline := latest
-			if d := cfg.Policy.DiscardAfter; d > 0 {
-				if dl := start.Add(sim.FromSeconds(d.Seconds())); dl < deadline {
-					deadline = dl
-				}
-			}
-			responses := make([]core.PollResponse, 0, len(polled))
-			for _, p := range polls {
-				p := p
-				if p.resp > deadline {
-					res.Messages.PollsDiscarded++
+				if s.down || s.paused {
 					continue
 				}
-				// Observe the server's load index when the inquiry
-				// reaches it (half the round trip in).
-				obsAt := p.resp.Add(-sim.Duration((p.resp.Sub(start)) / 2))
-				eng.At(obsAt, func() {
-					responses = append(responses, core.PollResponse{
-						Server: p.srv, Load: servers[p.srv].active,
-					})
-					res.Messages.PollResponses++
-				})
+				switch {
+				case best == -1 || s.committed < bestLoad:
+					best, bestLoad, ties = i, s.committed, 1
+				case s.committed == bestLoad:
+					// Reservoir tie-break, matching core.PickLeast.
+					ties++
+					if policyRNG.Intn(ties) == 0 {
+						best = i
+					}
+				}
 			}
-			eng.At(deadline, func() {
-				srv := core.PickFromPolls(policyRNG, responses, polled)
-				dispatch(idx, client, srv, start, service, deadline.Sub(start))
-			})
+			if best == -1 {
+				best = pickFrom[policyRNG.Intn(len(pickFrom))]
+			}
+			dispatch(idx, client, best, attempt, start, service, 0)
+
+		case core.LocalLeast:
+			loads := make([]int, len(pickFrom))
+			for i, srv := range pickFrom {
+				loads[i] = outstanding[client][srv]
+			}
+			dispatch(idx, client, pickFrom[core.PickLeast(policyRNG, loads)], attempt, start, service, 0)
+
+		case core.Poll:
+			if cands == nil {
+				// All quarantined: skip the pointless poll, go random.
+				dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, 0)
+				return
+			}
+			pollRound(idx, client, attempt, 0, cands, start, service)
 		}
 	}
 
@@ -539,7 +791,7 @@ func Run(cfg Config) (*Result, error) {
 		a := stream.Next()
 		i, client := i, i%cfg.Clients
 		eng.At(sim.Time(sim.FromSeconds(a.Arrival)), func() {
-			handle(i, client, sim.FromSeconds(a.Service))
+			handle(i, client, 0, eng.Now(), sim.FromSeconds(a.Service))
 		})
 	}
 
@@ -559,6 +811,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.MeanQueueLength = qsum / float64(cfg.Servers)
+	// Accesses stranded on a paused-forever server drain no events, so
+	// the engine exits with them still frozen; they are lost too.
+	res.Lost = int64(cfg.Accesses - completed)
 	return res, nil
 }
 

@@ -1,0 +1,160 @@
+// Package substrate abstracts "a way to execute one load-balancing
+// run" so experiment drivers can be written once and executed on both
+// of the repository's execution substrates: the discrete-event
+// simulator (internal/simcluster) and the real-socket prototype
+// (internal/cluster).
+//
+// The paper's central comparison (simulation Figure 4 against prototype
+// Figure 6) only means something because the same policy code runs on
+// both substrates; this package makes that symmetry explicit. A RunSpec
+// is the substrate-independent description of one run, and a RunResult
+// carries the measurements both substrates share — response-time
+// summary, polling cost, message counts, losses, retries — so a driver
+// parameterized by Substrate produces directly comparable cells.
+package substrate
+
+import (
+	"fmt"
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+	"finelb/internal/faults"
+	"finelb/internal/simcluster"
+	"finelb/internal/workload"
+)
+
+// RunSpec describes one run in substrate-independent terms.
+type RunSpec struct {
+	Servers int
+	Clients int // decision-making client nodes (default 6, as in the paper)
+	// Workload must already be scaled (workload.Workload.ScaledTo) to
+	// the target per-server load for Servers servers.
+	Workload workload.Workload
+	Policy   core.Policy
+
+	// Accesses is the number of service accesses to issue.
+	Accesses int
+	// Seed drives every random stream of the run.
+	Seed uint64
+
+	// Faults, when non-nil and active, injects the schedule into the
+	// run on either substrate (see internal/faults).
+	Faults *faults.Schedule
+	// DirTTL overrides the prototype directory's soft-state TTL (fault
+	// runs use a short TTL so crashed nodes expire quickly). The
+	// simulator has no directory and ignores it.
+	DirTTL time.Duration
+}
+
+// RunResult carries the measurements common to both substrates, in
+// seconds where a unit applies.
+type RunResult struct {
+	Substrate string // "sim" or "proto"
+
+	MeanResponse float64
+	P50Response  float64
+	P95Response  float64
+	P99Response  float64
+	Responses    int64 // post-warmup accesses measured
+
+	// MeanPollTime is the mean per-access time spent acquiring load
+	// information (zero for non-polling policies).
+	MeanPollTime float64
+
+	// PollRequests / PollResponses / PollsDiscarded count the load
+	// inquiries sent, the answers used, and the answers abandoned.
+	PollRequests   int64
+	PollResponses  int64
+	PollsDiscarded int64
+
+	// Lost counts accesses that never produced a response despite
+	// retries; Retries counts poll re-rounds plus access re-attempts.
+	Lost    int64
+	Retries int64
+}
+
+// Substrate executes runs. Implementations must be safe to reuse
+// across runs (they carry no per-run state).
+type Substrate interface {
+	// Name identifies the substrate in tables and logs ("sim", "proto").
+	Name() string
+	// Run executes one run described by spec.
+	Run(spec RunSpec) (*RunResult, error)
+}
+
+// Sim is the discrete-event simulator substrate (simcluster.Run):
+// deterministic, fast, with the paper's measured network constants.
+type Sim struct{}
+
+// Name implements Substrate.
+func (Sim) Name() string { return "sim" }
+
+// Run implements Substrate.
+func (Sim) Run(spec RunSpec) (*RunResult, error) {
+	res, err := simcluster.Run(simcluster.Config{
+		Servers:  spec.Servers,
+		Clients:  spec.Clients,
+		Workload: spec.Workload,
+		Policy:   spec.Policy,
+		Accesses: spec.Accesses,
+		Seed:     spec.Seed,
+		Faults:   spec.Faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("substrate sim: %w", err)
+	}
+	return &RunResult{
+		Substrate:      "sim",
+		MeanResponse:   res.Response.Mean(),
+		P50Response:    res.Response.Percentile(0.50),
+		P95Response:    res.Response.Percentile(0.95),
+		P99Response:    res.Response.Percentile(0.99),
+		Responses:      res.Response.N(),
+		MeanPollTime:   res.PollTime.Mean(),
+		PollRequests:   res.Messages.PollRequests,
+		PollResponses:  res.Messages.PollResponses,
+		PollsDiscarded: res.Messages.PollsDiscarded,
+		Lost:           res.Lost,
+		Retries:        res.Retries,
+	}, nil
+}
+
+// Proto is the real-socket prototype substrate (cluster.RunExperiment):
+// an in-process Neptune-lite cluster over loopback UDP/TCP with the
+// §3.2 contention model active.
+type Proto struct{}
+
+// Name implements Substrate.
+func (Proto) Name() string { return "proto" }
+
+// Run implements Substrate.
+func (Proto) Run(spec RunSpec) (*RunResult, error) {
+	res, err := cluster.RunExperiment(cluster.ExperimentConfig{
+		Servers:  spec.Servers,
+		Clients:  spec.Clients,
+		Workload: spec.Workload,
+		Policy:   spec.Policy,
+		Accesses: spec.Accesses,
+		Seed:     spec.Seed,
+		Faults:   spec.Faults,
+		DirTTL:   spec.DirTTL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("substrate proto: %w", err)
+	}
+	return &RunResult{
+		Substrate:      "proto",
+		MeanResponse:   res.Response.Mean(),
+		P50Response:    res.Response.Percentile(0.50),
+		P95Response:    res.Response.Percentile(0.95),
+		P99Response:    res.Response.Percentile(0.99),
+		Responses:      res.Response.N(),
+		MeanPollTime:   res.PollTime.Mean(),
+		PollRequests:   res.Polled,
+		PollResponses:  res.Answered,
+		PollsDiscarded: res.Discarded,
+		Lost:           res.Lost,
+		Retries:        res.Retries,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package substrate
+
+import (
+	"testing"
+
+	"finelb/internal/core"
+	"finelb/internal/workload"
+)
+
+func TestSimRun(t *testing.T) {
+	w := workload.PoissonExp(0.05).ScaledTo(8, 0.6)
+	res, err := Sim{}.Run(RunSpec{
+		Servers: 8, Workload: w, Policy: core.NewPoll(2),
+		Accesses: 5000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Substrate != "sim" {
+		t.Errorf("Substrate = %q", res.Substrate)
+	}
+	if res.MeanResponse <= 0 || res.Responses == 0 {
+		t.Errorf("no responses measured: %+v", res)
+	}
+	if res.P50Response > res.P99Response {
+		t.Errorf("p50 %v above p99 %v", res.P50Response, res.P99Response)
+	}
+	// Poll 2 sends two inquiries per access and, healthy, hears back
+	// from both.
+	if res.PollRequests == 0 || res.PollResponses != res.PollRequests {
+		t.Errorf("poll counters: %d requests, %d responses", res.PollRequests, res.PollResponses)
+	}
+	if res.Lost != 0 || res.Retries != 0 {
+		t.Errorf("healthy run lost=%d retries=%d", res.Lost, res.Retries)
+	}
+
+	// Determinism across the substrate boundary: same spec, same result.
+	again, err := Sim{}.Run(RunSpec{
+		Servers: 8, Workload: w, Policy: core.NewPoll(2),
+		Accesses: 5000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *res {
+		t.Errorf("same spec diverged:\n%+v\nvs\n%+v", again, res)
+	}
+}
+
+func TestSimRunRejectsBadSpec(t *testing.T) {
+	_, err := Sim{}.Run(RunSpec{Servers: -1})
+	if err == nil {
+		t.Fatal("negative server count accepted")
+	}
+}
+
+func TestProtoRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype run opens real sockets and takes seconds")
+	}
+	w := workload.PoissonExp(0.05).ScaledTo(4, 0.5)
+	res, err := Proto{}.Run(RunSpec{
+		Servers: 4, Workload: w, Policy: core.NewPoll(2),
+		Accesses: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Substrate != "proto" {
+		t.Errorf("Substrate = %q", res.Substrate)
+	}
+	if res.MeanResponse <= 0 || res.Responses == 0 {
+		t.Errorf("no responses measured: %+v", res)
+	}
+	if res.PollRequests == 0 {
+		t.Error("polling policy sent no inquiries")
+	}
+}
