@@ -76,7 +76,7 @@ func main() {
 	var remote *cluster.RemoteDirectory
 	if *dirAddr != "" {
 		var err error
-		remote, err = cluster.DialDirectory(*dirAddr)
+		remote, err = cluster.DialDirectory(nil, *dirAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbclient:", err)
 			os.Exit(1)

@@ -26,7 +26,7 @@ func main() {
 	ttl := flag.Duration("ttl", cluster.DefaultTTL, "soft-state lifetime of published entries")
 	flag.Parse()
 
-	s, err := cluster.StartDirServer(nil, *ttl)
+	s, err := cluster.StartDirServer(nil, nil, *ttl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbdir:", err)
 		os.Exit(1)

@@ -22,7 +22,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for tie-breaking")
 	flag.Parse()
 
-	m, err := cluster.StartIdealManager(*n, *seed)
+	m, err := cluster.StartIdealManager(nil, *n, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbmanager:", err)
 		os.Exit(1)

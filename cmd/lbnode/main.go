@@ -40,7 +40,7 @@ func main() {
 	var remote *cluster.RemoteDirectory
 	if *dirAddr != "" {
 		var err error
-		remote, err = cluster.DialDirectory(*dirAddr)
+		remote, err = cluster.DialDirectory(nil, *dirAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbnode:", err)
 			os.Exit(1)

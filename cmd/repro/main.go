@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	repro [-quick] [-seed N] [-v] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list
+//	repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list
 //
 // Examples:
 //
@@ -12,6 +12,7 @@
 //	repro -quick figure4
 //	repro table1 figure2 upperbound
 //	repro -format=json -out results.json figure4 figure6
+//	repro -transport=mem figure6      # prototype experiments without sockets
 //	repro -bench bench -quick all     # also drop BENCH_<id>.json records
 //	repro all                         # full-fidelity run (several minutes)
 package main
@@ -38,12 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced run lengths (~1 minute for the whole suite)")
 	seed := fs.Uint64("seed", 1, "random seed for all experiment streams")
 	verbose := fs.Bool("v", false, "print per-cell progress")
+	transportName := fs.String("transport", "net", "prototype messaging substrate: net (real loopback sockets) or mem (in-memory fabric)")
 	format := fs.String("format", "text", "output format: text, json, or csv")
 	csv := fs.Bool("csv", false, "emit CSV (deprecated; same as -format=csv)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	benchDir := fs.String("bench", "", "also write one BENCH_<id>.json record per experiment into this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			desc, _ := experiments.Describe(id)
 			fmt.Fprintf(stderr, "  %-14s %s\n", id, desc)
@@ -54,6 +56,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *csv {
 		*format = "csv"
+	}
+	switch *transportName {
+	case "net", "mem":
+	default:
+		fmt.Fprintf(stderr, "repro: unknown transport %q (want net or mem)\n", *transportName)
+		return 2
 	}
 	switch *format {
 	case "text", "json", "csv":
@@ -92,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dst = f
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Transport: *transportName}
 	if *verbose {
 		opts.Progress = stderr
 	}

@@ -76,6 +76,37 @@ func TestUnknownFormat(t *testing.T) {
 	}
 }
 
+func TestUnknownTransport(t *testing.T) {
+	_, errOut, code := repro(t, "-transport=carrier-pigeon", "table1")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "carrier-pigeon") {
+		t.Errorf("error does not name the transport:\n%s", errOut)
+	}
+}
+
+// TestFailoverMemTransport drives a socket-using experiment end to end
+// over the in-memory fabric: the whole cluster must come up, crash a
+// node, and keep serving without ever opening a file descriptor.
+func TestFailoverMemTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover phases sleep through real time (~2s)")
+	}
+	out, errOut, code := repro(t, "-quick", "-transport=mem", "-format=json", "failover")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	tables := parseTables(t, out)
+	if len(tables) != 1 || tables[0].ID != "failover" || len(tables[0].Rows) != 2 {
+		t.Fatalf("tables: %+v", tables)
+	}
+	// After soft-state expiry no errors should remain (second phase).
+	if errs, ok := tables[0].Rows[1][2].(float64); !ok || errs != 0 {
+		t.Errorf("post-expiry errors = %#v, want 0", tables[0].Rows[1][2])
+	}
+}
+
 func TestTable1AllFormats(t *testing.T) {
 	text, _, code := repro(t, "-quick", "table1")
 	if code != 0 || !strings.Contains(text, "== table1:") {

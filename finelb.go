@@ -38,6 +38,7 @@ import (
 	"finelb/internal/faults"
 	"finelb/internal/simcluster"
 	"finelb/internal/substrate"
+	"finelb/internal/transport"
 	"finelb/internal/workload"
 )
 
@@ -144,6 +145,34 @@ var (
 // DiscardThreshold is the §3.2 slow-poll discard threshold used by the
 // paper's Table 2 (10 ms; see DESIGN.md for the OCR restoration).
 const DiscardThreshold = 10 * time.Millisecond
+
+// Transport layer: every prototype component (nodes, clients, the
+// directory server, the IDEAL manager) exchanges messages through a
+// Transport. The zero configuration uses real loopback sockets; an
+// in-memory fabric swaps in for deterministic, file-descriptor-free
+// runs (set PrototypeConfig.Transport, or ProtoSubstrate.Transport to
+// "mem").
+type (
+	// Transport provides stream listeners and datagram endpoints.
+	Transport = transport.Transport
+	// NetTransport is the real-socket transport (loopback TCP/UDP).
+	NetTransport = transport.Net
+	// MemTransport is the in-process fabric: seedable latency, jitter,
+	// and loss, no file descriptors.
+	MemTransport = transport.Mem
+	// MemTransportConfig configures a MemTransport fabric.
+	MemTransportConfig = transport.MemConfig
+)
+
+// Transport construction helpers.
+var (
+	// NewMemTransport builds an in-memory fabric.
+	NewMemTransport = transport.NewMem
+	// TransportWithFaults wraps a transport so a fault schedule's link
+	// rules (loss, latency) apply to its datagram traffic — the single
+	// point where LinkRule replay happens.
+	TransportWithFaults = transport.WithFaults
+)
 
 // Fault injection (§3.1 availability): a FaultSchedule describes node
 // crashes, pause/resume pairs, and per-link loss/latency; pass it to

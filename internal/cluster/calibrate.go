@@ -7,6 +7,7 @@ import (
 
 	"finelb/internal/core"
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 	"finelb/internal/workload"
 )
 
@@ -28,7 +29,10 @@ type CalibrationConfig struct {
 	// Node knobs.
 	Workers int
 	Spin    bool
-	Seed    uint64
+	// Transport is the messaging substrate of the probe cluster
+	// (default transport.Net).
+	Transport transport.Transport
+	Seed      uint64
 }
 
 // CalibrationResult reports the calibrated full-load point.
@@ -75,7 +79,8 @@ func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
 	probe := func(mult float64) (float64, error) {
 		node, err := StartNode(NodeConfig{
 			ID: 0, Service: "cal", Workers: cfg.Workers, Spin: cfg.Spin,
-			SlowProb: -1, Seed: cfg.Seed,
+			Transport: cfg.Transport,
+			SlowProb:  -1, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return 0, err
@@ -83,6 +88,7 @@ func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
 		defer node.Close()
 		client, err := NewClient(ClientConfig{
 			Service: "cal", Policy: core.NewRandom(),
+			Transport:       cfg.Transport,
 			StaticEndpoints: []Endpoint{node.Endpoint()},
 			Seed:            cfg.Seed,
 		})

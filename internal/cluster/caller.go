@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"finelb/internal/transport"
 )
 
 // Caller issues service requests to explicit endpoints, bypassing load
@@ -15,6 +17,7 @@ import (
 // Caller is safe for concurrent use; each in-flight call holds its own
 // pooled connection.
 type Caller struct {
+	tr      transport.Transport
 	timeout time.Duration
 
 	mu     sync.Mutex
@@ -24,13 +27,17 @@ type Caller struct {
 	reqID atomic.Uint64
 }
 
-// NewCaller returns a caller whose calls time out after the given
+// NewCaller returns a caller whose calls go over tr (the default
+// real-socket transport when nil) and time out after the given
 // duration (default 10 s when zero).
-func NewCaller(timeout time.Duration) *Caller {
+func NewCaller(tr transport.Transport, timeout time.Duration) *Caller {
+	if tr == nil {
+		tr = transport.Default()
+	}
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	return &Caller{timeout: timeout, pools: make(map[string]*connPool)}
+	return &Caller{tr: tr, timeout: timeout, pools: make(map[string]*connPool)}
 }
 
 func (c *Caller) pool(addr string) (*connPool, error) {
@@ -42,7 +49,7 @@ func (c *Caller) pool(addr string) (*connPool, error) {
 	if p, ok := c.pools[addr]; ok {
 		return p, nil
 	}
-	p := newConnPool(addr)
+	p := newConnPool(c.tr, addr)
 	c.pools[addr] = p
 	return p, nil
 }

@@ -9,6 +9,7 @@ import (
 	"finelb/internal/core"
 	"finelb/internal/faults"
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 )
 
 // ClientConfig configures a client node.
@@ -18,6 +19,12 @@ type ClientConfig struct {
 	Service   string
 	Partition uint32
 	Policy    core.Policy
+
+	// Transport is the messaging substrate the client dials through
+	// (default transport.Net, real loopback sockets). When Faults has
+	// link rules the client wraps it with transport.WithFaults, so the
+	// schedule replays identically on any transport.
+	Transport transport.Transport
 
 	// RemoteDir, when non-nil, refreshes the mapping table from a
 	// DirServer in another process instead of an in-process Directory.
@@ -76,8 +83,9 @@ type ClientConfig struct {
 
 	// Faults, when non-nil, injects the schedule's link faults (poll
 	// loss and added latency) into this client's load inquiries, keyed
-	// by this client's ID. Node events are replayed by the driver, not
-	// here.
+	// by this client's ID. Replay happens at the transport seam
+	// (transport.WithFaults). Node events are replayed by the driver,
+	// not here.
 	Faults *faults.Schedule
 
 	Seed uint64
@@ -106,8 +114,8 @@ type serverHealth struct {
 // (polling agent or baseline policies) in front of the service access
 // point (Figure 5).
 type Client struct {
-	cfg   ClientConfig
-	links *faults.LinkState
+	cfg ClientConfig
+	tr  transport.Transport
 
 	mu          sync.Mutex
 	rng         *stats.RNG
@@ -179,9 +187,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.QuarantineFor == 0 {
 		cfg.QuarantineFor = faults.DefaultQuarantineFor
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.Default()
+	}
+	// Link-fault replay happens at the transport seam, not in the
+	// client, so Net and Mem honor the same schedule identically.
+	tr = transport.WithFaults(tr, cfg.Faults)
 	c := &Client{
 		cfg:         cfg,
-		links:       cfg.Faults.NewLinkState(cfg.ID),
+		tr:          tr,
 		rng:         stats.NewRNG(cfg.Seed ^ 0xc1e9a7b3d5f01234),
 		agents:      make(map[string]*pollAgent),
 		pools:       make(map[string]*connPool),
@@ -190,7 +205,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		done:        make(chan struct{}),
 	}
 	if cfg.Policy.Kind == core.Ideal {
-		c.mgr = newManagerClient(cfg.ManagerAddr)
+		c.mgr = newManagerClient(tr, cfg.ManagerAddr)
 	}
 	c.Refresh()
 	if cfg.Directory != nil || cfg.RemoteDir != nil {
@@ -264,19 +279,34 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// agent returns (creating if needed) the poll agent for a load address.
-func (c *Client) agent(loadAddr string) (*pollAgent, error) {
+// agent returns (creating if needed) the poll agent for an endpoint.
+// The dial names the client→server link so the transport seam can
+// replay that link's injected faults.
+func (c *Client) agent(ep Endpoint) (*pollAgent, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if a, ok := c.agents[loadAddr]; ok {
+	if a, ok := c.agents[ep.LoadAddr]; ok {
 		return a, nil
 	}
-	a, err := newPollAgent(loadAddr)
+	a, err := newPollAgent(c.tr, ep.LoadAddr, transport.Link{Client: c.cfg.ID, Server: ep.NodeID})
 	if err != nil {
 		return nil, err
 	}
-	c.agents[loadAddr] = a
+	c.agents[ep.LoadAddr] = a
 	return a, nil
+}
+
+// LateAnswers reports how many poll answers arrived after their
+// inquiry was cancelled at the deadline — the observable count of
+// the §3.2 slow-poll discards.
+func (c *Client) LateAnswers() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, a := range c.agents {
+		n += a.lateCount()
+	}
+	return n
 }
 
 // pool returns (creating if needed) the connection pool for an access
@@ -287,7 +317,7 @@ func (c *Client) pool(accessAddr string) *connPool {
 	if p, ok := c.pools[accessAddr]; ok {
 		return p
 	}
-	p := newConnPool(accessAddr)
+	p := newConnPool(c.tr, accessAddr)
 	c.pools[accessAddr] = p
 	return p
 }
@@ -593,34 +623,21 @@ func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok boo
 	sent := 0
 	seqs := make([]uint32, 0, d)
 	agents := make([]*pollAgent, 0, d)
-	inFlight := make([]int, 0, d) // epIdx of every inquiry awaited (incl. injected losses)
+	inFlight := make([]int, 0, d) // epIdx of every inquiry awaited
 	for _, epIdx := range polled {
 		target := eps[epIdx]
-		dropped, delay := c.links.PollFault(target.NodeID)
-		if dropped {
-			// Injected loss: the datagram left but never arrives. The
-			// client still waits for it until the deadline, and the
-			// silence counts against the server's health.
-			inFlight = append(inFlight, epIdx)
-			sent++
-			continue
-		}
-		a, agentErr := c.agent(target.LoadAddr)
+		a, agentErr := c.agent(target)
 		if agentErr != nil {
 			c.noteSilent(target.NodeID)
 			continue // node vanished between refreshes; poll fewer
 		}
 		seq := c.seq.Add(1)
 		epIdx := epIdx
-		deliver := func(load int) {
+		cb := func(load int) {
 			select {
 			case answers <- answer{epIdx: epIdx, load: load, rtt: time.Since(start)}:
 			default:
 			}
-		}
-		cb := deliver
-		if delay > 0 {
-			cb = func(load int) { time.AfterFunc(delay, func() { deliver(load) }) }
 		}
 		if err := a.inquire(seq, cb); err != nil {
 			// A refused send is the OS reporting the port dead

@@ -10,13 +10,17 @@ import (
 )
 
 // testCluster boots n server nodes (contention model off unless slow
-// is set) plus a directory, and returns them with a cleanup.
+// is set) plus a directory, and returns them with a cleanup. All nodes
+// share the package test transport (see testTransport).
 func testCluster(t *testing.T, n int, slow bool) (*Directory, []*Node) {
 	t.Helper()
 	d := NewDirectory(time.Minute)
 	nodes := make([]*Node, n)
 	for i := range nodes {
-		cfg := NodeConfig{ID: i, Service: "svc", Directory: d, Seed: uint64(i)}
+		cfg := NodeConfig{
+			ID: i, Service: "svc", Directory: d, Seed: uint64(i),
+			Transport: testTransport(t),
+		}
 		if !slow {
 			cfg.SlowProb = -1
 		}
@@ -34,6 +38,7 @@ func newTestClient(t *testing.T, d *Directory, p core.Policy, mgrAddr string) *C
 	t.Helper()
 	c, err := NewClient(ClientConfig{
 		Directory: d, Service: "svc", Policy: p, ManagerAddr: mgrAddr, Seed: 42,
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +144,7 @@ func TestClientPollPrefersIdleServer(t *testing.T) {
 	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 400000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, func() bool { return nodes[0].LoadIndex() == 1 }, "node 0 to become busy")
 	// Polling both servers must route every access to idle node 1.
 	for i := 0; i < 10; i++ {
 		info, err := c.Access(100, nil)
@@ -159,7 +164,10 @@ func TestClientPollDiscard(t *testing.T) {
 	// One of two nodes always answers slowly; with a tight discard
 	// threshold the slow answer is abandoned but accesses still work.
 	dir := NewDirectory(time.Minute)
-	fast, err := StartNode(NodeConfig{ID: 0, Service: "svc", Directory: dir, SlowProb: -1})
+	fast, err := StartNode(NodeConfig{
+		ID: 0, Service: "svc", Directory: dir, SlowProb: -1,
+		Transport: testTransport(t),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,6 +175,7 @@ func TestClientPollDiscard(t *testing.T) {
 	slow, err := StartNode(NodeConfig{
 		ID: 1, Service: "svc", Directory: dir,
 		SlowProb: 1, SlowDist: stats.Deterministic{Value: 0.2},
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -178,11 +187,12 @@ func TestClientPollDiscard(t *testing.T) {
 	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 900000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, func() bool { return slow.LoadIndex() == 1 }, "the slow node to become busy")
 
 	c, err := NewClient(ClientConfig{
 		Directory: dir, Service: "svc",
 		Policy: core.NewPollDiscard(2, 30*time.Millisecond), Seed: 7,
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +219,7 @@ func TestClientPollDiscard(t *testing.T) {
 
 func TestClientIdealViaManager(t *testing.T) {
 	d, _ := testCluster(t, 4, false)
-	m, err := StartIdealManager(4, 1)
+	m, err := StartIdealManager(testTransport(t), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,6 +263,7 @@ func TestClientSurvivesNodeCrash(t *testing.T) {
 	c, err := NewClient(ClientConfig{
 		Directory: d, Service: "svc", Policy: core.NewPollDiscard(2, 50*time.Millisecond),
 		RefreshInterval: 20 * time.Millisecond, Seed: 3,
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -269,7 +280,7 @@ func TestClientSurvivesNodeCrash(t *testing.T) {
 	d.mu.Lock()
 	delete(d.entries, dirKey{0, "svc"})
 	d.mu.Unlock()
-	time.Sleep(50 * time.Millisecond) // let the client refresh
+	waitUntil(t, func() bool { return len(c.Endpoints()) == 2 }, "the client to drop the dead endpoint")
 
 	for i := 0; i < 20; i++ {
 		info, err := c.Access(100, nil)
@@ -279,93 +290,6 @@ func TestClientSurvivesNodeCrash(t *testing.T) {
 		if info.Server == 0 {
 			t.Fatalf("access routed to dead node")
 		}
-	}
-}
-
-func TestIdealManagerReleaseClamps(t *testing.T) {
-	m, err := StartIdealManager(2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { m.Close() })
-	mc := newManagerClient(m.Addr())
-	defer mc.close()
-	// Release without acquire: count stays at zero.
-	if err := mc.release(0); err != nil {
-		t.Fatal(err)
-	}
-	if counts := m.Counts(); counts[0] != 0 {
-		t.Fatalf("count went negative: %v", counts)
-	}
-	// Release of an out-of-range index errors.
-	if err := mc.release(99); err == nil {
-		t.Fatal("bad index accepted")
-	}
-}
-
-func TestIdealManagerAcquirePicksShortest(t *testing.T) {
-	m, err := StartIdealManager(3, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { m.Close() })
-	mc := newManagerClient(m.Addr())
-	defer mc.close()
-	got := map[uint32]int{}
-	for i := 0; i < 3; i++ {
-		idx, err := mc.acquire()
-		if err != nil {
-			t.Fatal(err)
-		}
-		got[idx]++
-	}
-	if len(got) != 3 {
-		t.Fatalf("3 acquires did not cover 3 servers: %v", got)
-	}
-	// Fourth acquire: all counts equal 1, any server acceptable; counts
-	// must show exactly one server at 2.
-	if _, err := mc.acquire(); err != nil {
-		t.Fatal(err)
-	}
-	twos := 0
-	for _, v := range m.Counts() {
-		if v == 2 {
-			twos++
-		}
-	}
-	if twos != 1 {
-		t.Fatalf("counts after 4 acquires: %v", m.Counts())
-	}
-}
-
-func TestPollAgentCancelDropsLateAnswer(t *testing.T) {
-	d, nodes := testCluster(t, 1, false)
-	_ = d
-	a, err := newPollAgent(nodes[0].LoadAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer a.close()
-	ch := make(chan int, 1)
-	if err := a.inquire(1, func(load int) { ch <- load }); err != nil {
-		t.Fatal(err)
-	}
-	a.cancel(1) // cancel immediately: the answer must be dropped
-	select {
-	case v := <-ch:
-		// Tiny race window: the answer may already have been delivered
-		// before cancel ran; that is acceptable behaviour, not a bug.
-		_ = v
-	case <-time.After(100 * time.Millisecond):
-	}
-	// A second inquiry still works after the cancel.
-	if err := a.inquire(2, func(load int) { ch <- load }); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case <-ch:
-	case <-time.After(time.Second):
-		t.Fatal("second inquiry unanswered")
 	}
 }
 

@@ -3,11 +3,12 @@ package cluster
 import (
 	"bytes"
 	"fmt"
-	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"finelb/internal/transport"
 )
 
 // DirServer is the cross-process form of the service availability
@@ -30,33 +31,34 @@ import (
 // An empty result is an empty datagram payload "END".
 type DirServer struct {
 	dir  *Directory
-	conn *net.UDPConn
+	tr   transport.Transport
+	conn transport.PacketConn
 	wg   sync.WaitGroup
 	once sync.Once
 }
 
-// StartDirServer binds a loopback UDP socket in front of the given
-// directory (a fresh one when dir is nil).
-func StartDirServer(dir *Directory, ttl time.Duration) (*DirServer, error) {
+// StartDirServer binds a datagram endpoint on tr (the default
+// real-socket transport when nil) in front of the given directory (a
+// fresh one when dir is nil).
+func StartDirServer(tr transport.Transport, dir *Directory, ttl time.Duration) (*DirServer, error) {
+	if tr == nil {
+		tr = transport.Default()
+	}
 	if dir == nil {
 		dir = NewDirectory(ttl)
 	}
-	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	conn, err := tr.ListenPacket()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &DirServer{dir: dir, conn: conn}
+	s := &DirServer{dir: dir, tr: tr, conn: conn}
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
 }
 
-// Addr returns the server's UDP address.
-func (s *DirServer) Addr() string { return s.conn.LocalAddr().String() }
+// Addr returns the server's datagram address.
+func (s *DirServer) Addr() string { return s.conn.LocalAddr() }
 
 // Directory returns the backing directory (for inspection in tests).
 func (s *DirServer) Directory() *Directory { return s.dir }
@@ -72,13 +74,13 @@ func (s *DirServer) serve() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		m, from, err := s.conn.ReadFromUDP(buf)
+		m, from, err := s.conn.ReadFrom(buf)
 		if err != nil {
 			return
 		}
 		reply := s.handle(string(buf[:m]))
 		if reply != "" {
-			_, _ = s.conn.WriteToUDP([]byte(reply), from)
+			_, _ = s.conn.WriteTo([]byte(reply), from)
 		}
 	}
 }
@@ -142,16 +144,17 @@ type RemoteDirectory struct {
 	timeout time.Duration
 
 	mu   sync.Mutex
-	conn *net.UDPConn
+	conn transport.PacketConn
 }
 
-// DialDirectory connects (in the UDP sense) to a DirServer.
-func DialDirectory(addr string) (*RemoteDirectory, error) {
-	raddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, err
+// DialDirectory connects (in the datagram sense) to a DirServer over
+// tr (the default real-socket transport when nil). Directory traffic
+// has no per-link fault semantics, so the dial carries NoLink.
+func DialDirectory(tr transport.Transport, addr string) (*RemoteDirectory, error) {
+	if tr == nil {
+		tr = transport.Default()
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	conn, err := tr.DialPacket(addr, transport.NoLink)
 	if err != nil {
 		return nil, err
 	}

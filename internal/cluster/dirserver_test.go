@@ -9,7 +9,7 @@ import (
 
 func startDirServer(t *testing.T, ttl time.Duration) *DirServer {
 	t.Helper()
-	s, err := StartDirServer(nil, ttl)
+	s, err := StartDirServer(testTransport(t), nil, ttl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func startDirServer(t *testing.T, ttl time.Duration) *DirServer {
 
 func dialDir(t *testing.T, s *DirServer) *RemoteDirectory {
 	t.Helper()
-	r, err := DialDirectory(s.Addr())
+	r, err := DialDirectory(testTransport(t), s.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,22 +37,19 @@ func TestDirServerPublishLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Publishing is fire-and-forget over UDP; wait for it to land.
-	deadline := time.Now().Add(time.Second)
-	for {
+	waitUntil(t, func() bool {
 		eps, err := r.Lookup("svc", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(eps) == 1 {
-			if eps[0].NodeID != 3 || eps[0].AccessAddr != "127.0.0.1:1001" || eps[0].LoadAddr != "127.0.0.1:1002" {
-				t.Fatalf("lookup returned %+v", eps[0])
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("publish never became visible")
-		}
-		time.Sleep(5 * time.Millisecond)
+		return len(eps) == 1
+	}, "the publish to become visible")
+	eps, err := r.Lookup("svc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].NodeID != 3 || eps[0].AccessAddr != "127.0.0.1:1001" || eps[0].LoadAddr != "127.0.0.1:1002" {
+		t.Fatalf("lookup returned %+v", eps[0])
 	}
 }
 
@@ -73,20 +70,13 @@ func TestDirServerPartitions(t *testing.T) {
 	}
 	waitFor := func(part uint32, wantNode int) {
 		t.Helper()
-		deadline := time.Now().Add(time.Second)
-		for {
+		waitUntil(t, func() bool {
 			eps, err := r.Lookup("img", part)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(eps) == 1 && eps[0].NodeID == wantNode {
-				return
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("partition %d lookup = %+v", part, eps)
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
+			return len(eps) == 1 && eps[0].NodeID == wantNode
+		}, "the partition lookup to resolve")
 	}
 	waitFor(1, 0)
 	waitFor(11, 1)
@@ -112,26 +102,18 @@ func TestDirServerSoftStateExpiry(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Wait for visibility, then for expiry.
-	deadline := time.Now().Add(time.Second)
-	for {
+	// Wait for visibility, then for soft-state expiry at the TTL.
+	waitUntil(t, func() bool {
 		eps, _ := r.Lookup("svc", 0)
-		if len(eps) == 1 {
-			break
+		return len(eps) == 1
+	}, "the publish to become visible")
+	waitUntil(t, func() bool {
+		eps, err := r.Lookup("svc", 0)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("publish never visible")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	time.Sleep(150 * time.Millisecond)
-	eps, err := r.Lookup("svc", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(eps) != 0 {
-		t.Fatalf("entry survived expiry: %+v", eps)
-	}
+		return len(eps) == 0
+	}, "the entry to expire")
 }
 
 func TestDirServerHandleMalformed(t *testing.T) {
@@ -162,6 +144,7 @@ func TestRemoteDirectoryEndToEnd(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		n, err := StartNode(NodeConfig{
 			ID: i, Service: "svc", RemoteDir: nodeDir,
+			Transport:       testTransport(t),
 			PublishInterval: 20 * time.Millisecond,
 			SlowProb:        -1, Seed: uint64(i),
 		})
@@ -171,10 +154,12 @@ func TestRemoteDirectoryEndToEnd(t *testing.T) {
 		nodes = append(nodes, n)
 		t.Cleanup(func() { n.Close() })
 	}
+	_ = nodes
 
 	clientDir := dialDir(t, s)
 	c, err := NewClient(ClientConfig{
 		Service: "svc", Policy: core.NewPoll(2),
+		Transport:       testTransport(t),
 		RemoteDir:       clientDir,
 		RefreshInterval: 20 * time.Millisecond,
 		Seed:            9,
@@ -185,13 +170,7 @@ func TestRemoteDirectoryEndToEnd(t *testing.T) {
 	t.Cleanup(func() { c.Close() })
 
 	// Wait for discovery of all three nodes.
-	deadline := time.Now().Add(2 * time.Second)
-	for len(c.Endpoints()) < 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("client discovered only %d endpoints", len(c.Endpoints()))
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitUntil(t, func() bool { return len(c.Endpoints()) >= 3 }, "the client to discover all nodes")
 
 	seen := map[int]bool{}
 	for i := 0; i < 40; i++ {

@@ -9,6 +9,7 @@ import (
 	"finelb/internal/core"
 	"finelb/internal/faults"
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 	"finelb/internal/workload"
 )
 
@@ -23,6 +24,12 @@ type ExperimentConfig struct {
 	Workload workload.Workload
 	Policy   core.Policy
 
+	// Transport is the messaging substrate every node, client, and
+	// manager of the run uses (default transport.Net, real loopback
+	// sockets). Pass a fresh transport.Mem fabric for a deterministic
+	// in-memory run.
+	Transport transport.Transport
+
 	// Accesses is the number of accesses to issue (default 20000).
 	Accesses int
 	// WarmupFrac excludes the first fraction of accesses from the
@@ -36,9 +43,10 @@ type ExperimentConfig struct {
 	SlowDist stats.Dist
 	DropProb float64
 
-	// TimeScale multiplies every arrival interval and service time, to
-	// shrink (<1) or stretch (>1) the wall-clock duration of a run
-	// without changing the load level. Default 1.
+	// TimeScale multiplies every arrival interval, service time, and
+	// contention-model delay, to shrink (<1) or stretch (>1) the
+	// wall-clock duration of a run without changing the load level or
+	// the relative cost of polling. Default 1.
 	TimeScale float64
 
 	// Faults, when non-nil, injects the schedule into the run: node
@@ -50,6 +58,12 @@ type ExperimentConfig struct {
 	// DefaultTTL); fault runs use a short TTL so crashed nodes expire
 	// quickly. Nodes republish at DirTTL/4.
 	DirTTL time.Duration
+
+	// QuarantineAfter is passed through to every client (see
+	// ClientConfig.QuarantineAfter); zero keeps the client default and
+	// negative disables quarantine, which deterministic runs use
+	// because quarantine expiry is wall-clock driven.
+	QuarantineAfter int
 
 	ServiceName string // default "translate"
 	Seed        uint64
@@ -73,9 +87,14 @@ type ExperimentResult struct {
 	Polled    int64
 	Answered  int64
 	Discarded int64
-	Retries   int64 // poll re-rounds plus access re-attempts
-	Errors    int64
-	Overloads int64
+	// LateAnswers counts poll answers that arrived after their inquiry
+	// was abandoned at the deadline: the subset of Discarded whose
+	// answer eventually showed up (§3.2's slow polls, as opposed to
+	// datagrams that never arrived at all).
+	LateAnswers int64
+	Retries     int64 // poll re-rounds plus access re-attempts
+	Errors      int64
+	Overloads   int64
 	// Lost counts accesses that never produced a response despite
 	// retries (same thing as Errors on the prototype, named to match
 	// the simulator's degraded-mode result).
@@ -122,23 +141,36 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	}
 
 	if cfg.Policy.Kind == core.Ideal {
-		m, err := StartIdealManager(cfg.Servers, cfg.Seed)
+		m, err := StartIdealManager(cfg.Transport, cfg.Servers, cfg.Seed)
 		if err != nil {
 			return fail(err)
 		}
 		cl.Manager = m
 	}
 
+	// The §3.2 contention model is part of the emulated environment, so
+	// its delays live on the same clock as arrivals and service times:
+	// a time-compressed run shrinks them by the same factor, keeping the
+	// relative cost of polling unchanged.
+	slowDist := cfg.SlowDist
+	if cfg.TimeScale != 1 {
+		if slowDist == nil {
+			slowDist = DefaultSlowDist()
+		}
+		slowDist = stats.Scaled{D: slowDist, Factor: cfg.TimeScale}
+	}
+
 	for i := 0; i < cfg.Servers; i++ {
 		n, err := StartNode(NodeConfig{
 			ID:              i,
 			Service:         cfg.ServiceName,
+			Transport:       cfg.Transport,
 			Workers:         cfg.Workers,
 			Spin:            cfg.Spin,
 			Directory:       cl.Dir,
 			PublishInterval: cfg.DirTTL / 4, // zero keeps the node default
 			SlowProb:        cfg.SlowProb,
-			SlowDist:        cfg.SlowDist,
+			SlowDist:        slowDist,
 			DropProb:        cfg.DropProb,
 			Seed:            cfg.Seed + uint64(i)*7919,
 		})
@@ -154,13 +186,15 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		ccfg := ClientConfig{
-			ID:          i,
-			Directory:   cl.Dir,
-			Service:     cfg.ServiceName,
-			Policy:      cfg.Policy,
-			ManagerAddr: mgrAddr,
-			Faults:      cfg.Faults,
-			Seed:        cfg.Seed + 104729 + uint64(i)*31,
+			ID:              i,
+			Directory:       cl.Dir,
+			Service:         cfg.ServiceName,
+			Policy:          cfg.Policy,
+			Transport:       cfg.Transport,
+			ManagerAddr:     mgrAddr,
+			Faults:          cfg.Faults,
+			QuarantineAfter: cfg.QuarantineAfter,
+			Seed:            cfg.Seed + 104729 + uint64(i)*31,
 		}
 		if cfg.DirTTL > 0 {
 			// Track the faster soft-state churn of a short-TTL directory.
@@ -202,6 +236,9 @@ func (cl *Cluster) Close() {
 }
 
 func (cfg ExperimentConfig) withDefaults() ExperimentConfig {
+	if cfg.Transport == nil {
+		cfg.Transport = transport.Default()
+	}
 	if cfg.Clients == 0 {
 		cfg.Clients = 6
 	}
@@ -318,6 +355,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	wg.Wait()
 	res.WallTime = time.Since(start)
 	res.Lost = res.Errors
+	for _, c := range cl.Clients {
+		res.LateAnswers += c.LateAnswers()
+	}
 	for _, n := range cl.Nodes {
 		res.NodeStats = append(res.NodeStats, n.Stats())
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 )
 
 // IdealManager emulates the IDEAL policy in the prototype exactly as
@@ -18,7 +19,7 @@ import (
 // before each access (which increments that queue) and reports back
 // after the access completes (which decrements it).
 type IdealManager struct {
-	ln net.Listener
+	ln transport.Listener
 
 	mu     sync.Mutex
 	counts []int64
@@ -37,13 +38,16 @@ const (
 	mgrOpRelease = 2
 )
 
-// StartIdealManager starts a manager for n servers on a loopback TCP
-// address.
-func StartIdealManager(n int, seed uint64) (*IdealManager, error) {
+// StartIdealManager starts a manager for n servers on a stream
+// listener of tr (the default real-socket transport when nil).
+func StartIdealManager(tr transport.Transport, n int, seed uint64) (*IdealManager, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: IdealManager with n = %d", n)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if tr == nil {
+		tr = transport.Default()
+	}
+	ln, err := tr.Listen()
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +63,8 @@ func StartIdealManager(n int, seed uint64) (*IdealManager, error) {
 	return m, nil
 }
 
-// Addr returns the manager's TCP address.
-func (m *IdealManager) Addr() string { return m.ln.Addr().String() }
+// Addr returns the manager's stream address.
+func (m *IdealManager) Addr() string { return m.ln.Addr() }
 
 // Counts snapshots the per-server assigned counts.
 func (m *IdealManager) Counts() []int64 {
@@ -104,6 +108,15 @@ func (m *IdealManager) acceptLoop() {
 		m.connMu.Lock()
 		m.conns[c] = struct{}{}
 		m.connMu.Unlock()
+		// A connection accepted while Close is sweeping m.conns would be
+		// missed by the sweep; Close closes done before sweeping, so
+		// re-checking here closes the gap.
+		select {
+		case <-m.done:
+			c.Close()
+			continue
+		default:
+		}
 		m.wg.Add(1)
 		go m.serve(c)
 	}
@@ -189,8 +202,8 @@ func (m *IdealManager) serve(c net.Conn) {
 // managerClient wraps a connection pool with the manager protocol.
 type managerClient struct{ pool *connPool }
 
-func newManagerClient(addr string) *managerClient {
-	return &managerClient{pool: newConnPool(addr)}
+func newManagerClient(tr transport.Transport, addr string) *managerClient {
+	return &managerClient{pool: newConnPool(tr, addr)}
 }
 
 func (mc *managerClient) acquire() (uint32, error) {

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func startTestManager(t *testing.T, n int) (*IdealManager, *managerClient) {
+	t.Helper()
+	m, err := StartIdealManager(testTransport(t), n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	mc := newManagerClient(testTransport(t), m.Addr())
+	t.Cleanup(mc.close)
+	return m, mc
+}
+
+func TestIdealManagerRejectsBadSize(t *testing.T) {
+	if _, err := StartIdealManager(testTransport(t), 0, 1); err == nil {
+		t.Fatal("manager for 0 servers accepted")
+	}
+	if _, err := StartIdealManager(testTransport(t), -3, 1); err == nil {
+		t.Fatal("manager for -3 servers accepted")
+	}
+}
+
+func TestIdealManagerReleaseClamps(t *testing.T) {
+	m, mc := startTestManager(t, 2)
+	// Release without acquire: count stays at zero.
+	if err := mc.release(0); err != nil {
+		t.Fatal(err)
+	}
+	if counts := m.Counts(); counts[0] != 0 {
+		t.Fatalf("count went negative: %v", counts)
+	}
+	// Release of an out-of-range index errors.
+	if err := mc.release(99); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestIdealManagerAcquirePicksShortest(t *testing.T) {
+	m, mc := startTestManager(t, 3)
+	got := map[uint32]int{}
+	for i := 0; i < 3; i++ {
+		idx, err := mc.acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[idx]++
+	}
+	if len(got) != 3 {
+		t.Fatalf("3 acquires did not cover 3 servers: %v", got)
+	}
+	// Fourth acquire: all counts equal 1, any server acceptable; counts
+	// must show exactly one server at 2.
+	if _, err := mc.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	twos := 0
+	for _, v := range m.Counts() {
+		if v == 2 {
+			twos++
+		}
+	}
+	if twos != 1 {
+		t.Fatalf("counts after 4 acquires: %v", m.Counts())
+	}
+}
+
+func TestIdealManagerAcquireAvoidsLoadedServer(t *testing.T) {
+	m, mc := startTestManager(t, 2)
+	// Two acquires spread across both servers: counts [1,1].
+	for i := 0; i < 2; i++ {
+		if _, err := mc.acquire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free server 0; the next acquire must pick it, not server 1.
+	if err := mc.release(0); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := mc.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("acquire picked server %d, want idle server 0 (counts %v)", idx, m.Counts())
+	}
+}
+
+func TestIdealManagerConcurrentClients(t *testing.T) {
+	m, _ := startTestManager(t, 4)
+	const clients, rounds = 4, 25
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mc := newManagerClient(testTransport(t), m.Addr())
+			defer mc.close()
+			for j := 0; j < rounds; j++ {
+				idx, err := mc.acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := mc.release(idx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every acquire was released: all queues must be drained.
+	for i, v := range m.Counts() {
+		if v != 0 {
+			t.Fatalf("server %d count %d after full drain", i, v)
+		}
+	}
+}
+
+func TestIdealManagerCloseIsIdempotent(t *testing.T) {
+	m, err := StartIdealManager(testTransport(t), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A client against a closed manager fails rather than hanging.
+	mc := newManagerClient(testTransport(t), m.Addr())
+	defer mc.close()
+	if _, err := mc.acquire(); err == nil {
+		t.Fatal("acquire against closed manager succeeded")
+	}
+}

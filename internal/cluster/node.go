@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 )
 
 // NodeConfig configures a server node.
@@ -18,6 +19,10 @@ type NodeConfig struct {
 	ID         int
 	Service    string
 	Partitions []uint32
+
+	// Transport is the messaging substrate the node listens on
+	// (default transport.Net, real loopback sockets).
+	Transport transport.Transport
 
 	// Workers is the service worker pool size (§3.1). Default 1, which
 	// makes the node one non-preemptive processing unit as in the
@@ -97,8 +102,8 @@ type NodeStats struct {
 type Node struct {
 	cfg NodeConfig
 
-	tcpLn   net.Listener
-	udpConn *net.UDPConn
+	ln       transport.Listener
+	loadConn transport.PacketConn
 
 	active atomic.Int64 // load index: accesses accepted and not yet answered
 
@@ -143,9 +148,13 @@ func (nc *nodeConn) writeResponse(resp *Response) error {
 	return WriteResponse(nc.w, resp)
 }
 
-// StartNode binds loopback TCP and UDP listeners and starts the node's
-// accept loop, worker pool, load-index server, and publisher.
+// StartNode binds the node's stream and datagram listeners on its
+// transport and starts the accept loop, worker pool, load-index
+// server, and publisher.
 func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Transport == nil {
+		cfg.Transport = transport.Default()
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
@@ -171,29 +180,24 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cfg.PublishInterval = DefaultTTL / 4
 	}
 
-	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := cfg.Transport.Listen()
 	if err != nil {
 		return nil, err
 	}
-	udpAddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	loadConn, err := cfg.Transport.ListenPacket()
 	if err != nil {
-		tcpLn.Close()
-		return nil, err
-	}
-	udpConn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		tcpLn.Close()
+		ln.Close()
 		return nil, err
 	}
 
 	n := &Node{
-		cfg:     cfg,
-		tcpLn:   tcpLn,
-		udpConn: udpConn,
-		queue:   make(chan nodeTask, cfg.QueueCap),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-		unpause: closedChan(),
+		cfg:      cfg,
+		ln:       ln,
+		loadConn: loadConn,
+		queue:    make(chan nodeTask, cfg.QueueCap),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		unpause:  closedChan(),
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -212,11 +216,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
-// AccessAddr returns the TCP service access address.
-func (n *Node) AccessAddr() string { return n.tcpLn.Addr().String() }
+// AccessAddr returns the stream service access address.
+func (n *Node) AccessAddr() string { return n.ln.Addr() }
 
-// LoadAddr returns the UDP load-index address.
-func (n *Node) LoadAddr() string { return n.udpConn.LocalAddr().String() }
+// Transport returns the transport the node is listening on. Anything
+// that wants to reach the node (a raw test dialer, a diagnostic
+// client) must dial through this, since an in-memory fabric is only
+// reachable from within itself.
+func (n *Node) Transport() transport.Transport { return n.cfg.Transport }
+
+// LoadAddr returns the datagram load-index address.
+func (n *Node) LoadAddr() string { return n.loadConn.LocalAddr() }
 
 // LoadIndex returns the node's current load index: the total number of
 // active service accesses (queued plus in service), the paper's load
@@ -305,8 +315,8 @@ func (n *Node) pauseGate() bool {
 func (n *Node) Close() error {
 	n.once.Do(func() {
 		close(n.done)
-		n.tcpLn.Close()
-		n.udpConn.Close()
+		n.ln.Close()
+		n.loadConn.Close()
 		n.connMu.Lock()
 		for c := range n.conns {
 			c.Close()
@@ -346,7 +356,7 @@ func (n *Node) publishLoop() {
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
-		c, err := n.tcpLn.Accept()
+		c, err := n.ln.Accept()
 		if err != nil {
 			select {
 			case <-n.done:
@@ -374,6 +384,14 @@ func (n *Node) serveConn(c net.Conn) {
 		n.connMu.Unlock()
 		c.Close()
 	}()
+	// A connection accepted while Close is sweeping n.conns would be
+	// missed by the sweep and block this goroutine forever; Close
+	// closes done before sweeping, so re-checking here closes the gap.
+	select {
+	case <-n.done:
+		return
+	default:
+	}
 	nc := &nodeConn{c: c, w: bufio.NewWriter(c)}
 	r := bufio.NewReader(c)
 	for {
@@ -501,7 +519,7 @@ func (n *Node) loadIndexLoop() {
 	buf := make([]byte, 64)
 	out := make([]byte, 0, loadSize)
 	for {
-		m, addr, err := n.udpConn.ReadFromUDP(buf)
+		m, from, err := n.loadConn.ReadFrom(buf)
 		if err != nil {
 			return // socket closed
 		}
@@ -524,7 +542,7 @@ func (n *Node) loadIndexLoop() {
 			// Slow path: scheduling interference on a busy node.
 			n.slowPaths.Add(1)
 			delay := time.Duration(n.cfg.SlowDist.Sample(rng) * float64(time.Second))
-			seqCopy, addrCopy := seq, *addr
+			seqCopy, fromCopy := seq, from
 			time.AfterFunc(delay, func() {
 				select {
 				case <-n.done:
@@ -532,11 +550,11 @@ func (n *Node) loadIndexLoop() {
 				default:
 				}
 				reply := EncodeLoad(make([]byte, 0, loadSize), seqCopy, uint32(n.active.Load()))
-				_, _ = n.udpConn.WriteToUDP(reply, &addrCopy)
+				_, _ = n.loadConn.WriteTo(reply, fromCopy)
 			})
 			continue
 		}
 		out = EncodeLoad(out, seq, uint32(n.active.Load()))
-		_, _ = n.udpConn.WriteToUDP(out, addr)
+		_, _ = n.loadConn.WriteTo(out, from)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"finelb/internal/stats"
+	"finelb/internal/transport"
 )
 
 // startTestNode starts a node with the contention model disabled so
@@ -17,6 +18,9 @@ func startTestNode(t *testing.T, cfg NodeConfig) *Node {
 	if cfg.SlowProb == 0 {
 		cfg.SlowProb = -1 // disabled
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = testTransport(t)
+	}
 	n, err := StartNode(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -25,15 +29,28 @@ func startTestNode(t *testing.T, cfg NodeConfig) *Node {
 	return n
 }
 
-// dialNode opens a raw client connection to a node.
+// dialNode opens a raw client connection to a node, through the
+// node's own transport so the test works on the in-memory fabric too.
 func dialNode(t *testing.T, n *Node) (net.Conn, *bufio.Reader, *bufio.Writer) {
 	t.Helper()
-	c, err := net.Dial("tcp", n.AccessAddr())
+	c, err := n.Transport().Dial(n.AccessAddr(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
 	return c, bufio.NewReader(c), bufio.NewWriter(c)
+}
+
+// dialLoad opens a raw datagram connection to a node's load-index
+// server.
+func dialLoad(t *testing.T, n *Node) transport.PacketConn {
+	t.Helper()
+	conn, err := n.Transport().DialPacket(n.LoadAddr(), transport.NoLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
 }
 
 func TestNodeServesRequest(t *testing.T) {
@@ -99,16 +116,10 @@ func TestNodeLoadIndexTracksActiveWork(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(30 * time.Millisecond)
-	if got := n.LoadIndex(); got != 3 {
-		t.Errorf("load index mid-flight = %d, want 3", got)
-	}
+	waitUntil(t, func() bool { return n.LoadIndex() == 3 }, "all three accesses to become active")
 	wg.Wait()
-	// Allow the final decrement to land.
-	time.Sleep(10 * time.Millisecond)
-	if got := n.LoadIndex(); got != 0 {
-		t.Errorf("load index after completion = %d", got)
-	}
+	// The final decrement may land just after the last response is read.
+	waitUntil(t, func() bool { return n.LoadIndex() == 0 }, "load index to drain")
 }
 
 func TestNodeWorkerPoolParallelism(t *testing.T) {
@@ -145,12 +156,14 @@ func TestNodeOverload(t *testing.T) {
 	if err := WriteRequest(w1, &Request{ID: 1, Service: "svc", ServiceUs: 200000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond) // let the worker pick it up
+	waitUntil(t, func() bool { return n.LoadIndex() == 1 && len(n.queue) == 0 },
+		"the worker to pick up the first request")
 	_, r2, w2 := dialNode(t, n)
 	if err := WriteRequest(w2, &Request{ID: 2, Service: "svc", ServiceUs: 200000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, func() bool { return n.LoadIndex() == 2 && len(n.queue) == 1 },
+		"the second request to fill the queue")
 	_, r3, w3 := dialNode(t, n)
 	if err := WriteRequest(w3, &Request{ID: 3, Service: "svc", ServiceUs: 200000}); err != nil {
 		t.Fatal(err)
@@ -176,11 +189,7 @@ func TestNodeOverload(t *testing.T) {
 
 func TestNodeAnswersLoadInquiries(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	conn, err := net.Dial("udp", n.LoadAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	conn := dialLoad(t, n)
 	if _, err := conn.Write(EncodeInquiry(nil, 77)); err != nil {
 		t.Fatal(err)
 	}
@@ -203,13 +212,9 @@ func TestNodeLoadInquiryReflectsQueue(t *testing.T) {
 	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 150000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, func() bool { return n.LoadIndex() == 1 }, "the long job to become active")
 
-	conn, err := net.Dial("udp", n.LoadAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	conn := dialLoad(t, n)
 	if _, err := conn.Write(EncodeInquiry(nil, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -230,11 +235,7 @@ func TestNodeLoadInquiryReflectsQueue(t *testing.T) {
 
 func TestNodeDropInjection(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc", DropProb: 1.0})
-	conn, err := net.Dial("udp", n.LoadAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	conn := dialLoad(t, n)
 	if _, err := conn.Write(EncodeInquiry(nil, 5)); err != nil {
 		t.Fatal(err)
 	}
@@ -259,13 +260,9 @@ func TestNodeSlowPathDelaysAnswer(t *testing.T) {
 	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 300000}); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, func() bool { return n.LoadIndex() == 1 }, "the long job to become active")
 
-	conn, err := net.Dial("udp", n.LoadAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	conn := dialLoad(t, n)
 	start := time.Now()
 	if _, err := conn.Write(EncodeInquiry(nil, 9)); err != nil {
 		t.Fatal(err)

@@ -4,28 +4,28 @@ import (
 	"errors"
 	"net"
 	"sync"
+
+	"finelb/internal/transport"
 )
 
 // pollAgent is the client side of the load-inquiry protocol for one
-// server: a connected UDP socket (as in §3.1) plus a demultiplexer that
-// routes answers back to the access goroutines that asked, by sequence
-// number. Late answers whose inquiry was already cancelled (discarded)
-// are dropped here, which is exactly the prototype optimization of
-// §3.2.
+// server: a connected datagram endpoint (as in §3.1) plus a
+// demultiplexer that routes answers back to the access goroutines
+// that asked, by sequence number. Late answers whose inquiry was
+// already cancelled (discarded) are dropped here — exactly the
+// prototype optimization of §3.2 — and counted, so the discard rate
+// is observable on either transport.
 type pollAgent struct {
-	conn *net.UDPConn
+	conn transport.PacketConn
 
 	mu      sync.Mutex
 	pending map[uint32]func(load int)
 	closed  bool
+	late    int64 // answers that arrived after their inquiry was cancelled
 }
 
-func newPollAgent(loadAddr string) (*pollAgent, error) {
-	raddr, err := net.ResolveUDPAddr("udp", loadAddr)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link) (*pollAgent, error) {
+	conn, err := tr.DialPacket(loadAddr, link)
 	if err != nil {
 		return nil, err
 	}
@@ -59,12 +59,24 @@ func (a *pollAgent) readLoop() {
 		}
 		a.mu.Lock()
 		cb := a.pending[seq]
+		if cb == nil {
+			// The inquiry was cancelled at its deadline before this
+			// answer arrived: a discarded slow poll (§3.2).
+			a.late++
+		}
 		delete(a.pending, seq)
 		a.mu.Unlock()
 		if cb != nil {
 			cb(int(load))
 		}
 	}
+}
+
+// lateCount reports how many answers arrived after cancellation.
+func (a *pollAgent) lateCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.late
 }
 
 // inquire registers cb for seq and sends the inquiry datagram. cb runs

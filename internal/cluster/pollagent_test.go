@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"finelb/internal/core"
+	"finelb/internal/stats"
+	"finelb/internal/transport"
 )
 
 // deafCluster boots n nodes that drop every load inquiry (DropProb 1)
@@ -17,6 +19,7 @@ func deafCluster(t *testing.T, n int) *Directory {
 		node, err := StartNode(NodeConfig{
 			ID: i, Service: "svc", Directory: d, Seed: uint64(i),
 			SlowProb: -1, DropProb: 1,
+			Transport: testTransport(t),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -24,6 +27,116 @@ func deafCluster(t *testing.T, n int) *Directory {
 		t.Cleanup(func() { node.Close() })
 	}
 	return d
+}
+
+func TestPollAgentCancelDropsLateAnswer(t *testing.T) {
+	_, nodes := testCluster(t, 1, false)
+	a, err := newPollAgent(nodes[0].Transport(), nodes[0].LoadAddr(), transport.NoLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.close()
+	ch := make(chan int, 1)
+	if err := a.inquire(1, func(load int) { ch <- load }); err != nil {
+		t.Fatal(err)
+	}
+	a.cancel(1) // cancel immediately: the answer must be dropped
+	select {
+	case v := <-ch:
+		// Tiny race window: the answer may already have been delivered
+		// before cancel ran; that is acceptable behaviour, not a bug.
+		_ = v
+	case <-time.After(100 * time.Millisecond):
+	}
+	// A second inquiry still works after the cancel.
+	if err := a.inquire(2, func(load int) { ch <- load }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("second inquiry unanswered")
+	}
+}
+
+func TestPollAgentCountsLateAnswers(t *testing.T) {
+	// A busy node with a deterministic 50 ms slow path: the inquiry's
+	// answer is guaranteed to arrive well after the immediate cancel, so
+	// the agent must count exactly one late answer (§3.2's discarded
+	// slow poll).
+	n := startTestNode(t, NodeConfig{
+		ID: 1, Service: "svc",
+		SlowProb: 1, SlowDist: stats.Deterministic{Value: 0.05},
+	})
+	_, r, w := dialNode(t, n)
+	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 400000}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return n.LoadIndex() == 1 }, "the node to become busy")
+
+	a, err := newPollAgent(n.Transport(), n.LoadAddr(), transport.NoLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.close()
+	answered := make(chan int, 1)
+	if err := a.inquire(7, func(load int) { answered <- load }); err != nil {
+		t.Fatal(err)
+	}
+	a.cancel(7) // discard before the 50 ms slow answer can arrive
+	waitUntil(t, func() bool { return a.lateCount() == 1 }, "the late answer to be counted")
+	select {
+	case v := <-answered:
+		t.Fatalf("cancelled inquiry still delivered load %d", v)
+	default:
+	}
+	if _, err := ReadResponse(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientExposesLateAnswers(t *testing.T) {
+	// End-to-end form of the late-answer counter: a PollDiscard access
+	// abandons a slow node's answer at the threshold, and when that
+	// answer eventually lands the client's aggregate counter sees it.
+	n := startTestNode(t, NodeConfig{
+		ID: 0, Service: "svc", Workers: 2, // the access must not queue behind the long job
+		SlowProb: 1, SlowDist: stats.Deterministic{Value: 0.4},
+	})
+	d := NewDirectory(time.Minute)
+	d.Publish(n.Endpoint())
+	_, r, w := dialNode(t, n)
+	if err := WriteRequest(w, &Request{ID: 1, Service: "svc", ServiceUs: 900000}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return n.LoadIndex() == 1 }, "the node to become busy")
+
+	c, err := NewClient(ClientConfig{
+		Directory: d, Service: "svc",
+		Policy:      core.NewPollDiscard(1, 30*time.Millisecond),
+		PollRetries: -1,
+		Transport:   testTransport(t),
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	info, err := c.Access(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Discarded != 1 {
+		t.Fatalf("discarded %d, want 1", info.Discarded)
+	}
+	if c.LateAnswers() != 0 {
+		t.Fatal("late answer counted before it arrived")
+	}
+	waitUntil(t, func() bool { return c.LateAnswers() == 1 }, "the slow answer to arrive and be counted late")
+	if _, err := ReadResponse(r); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPollSizeClampedToEndpoints(t *testing.T) {
@@ -47,6 +160,7 @@ func TestPollTimeoutCountsDiscards(t *testing.T) {
 		Directory: d, Service: "svc",
 		Policy:      core.NewPollDiscard(2, 40*time.Millisecond),
 		PollRetries: -1, // a single round, so the accounting is exact
+		Transport:   testTransport(t),
 		Seed:        5,
 	})
 	if err != nil {
@@ -76,6 +190,7 @@ func TestPollRetryAfterDryRound(t *testing.T) {
 		Directory: d, Service: "svc",
 		Policy:          core.NewPollDiscard(2, 30*time.Millisecond),
 		QuarantineAfter: -1, // keep both rounds polling both servers
+		Transport:       testTransport(t),
 		Seed:            6,
 	})
 	if err != nil {
@@ -106,12 +221,18 @@ func TestQuarantineAfterConsecutiveTimeouts(t *testing.T) {
 	// QuarantineAfter consecutive silences, node 0 must drop out of the
 	// poll set entirely.
 	dir := NewDirectory(time.Minute)
-	deaf, err := StartNode(NodeConfig{ID: 0, Service: "svc", Directory: dir, SlowProb: -1, DropProb: 1})
+	deaf, err := StartNode(NodeConfig{
+		ID: 0, Service: "svc", Directory: dir, SlowProb: -1, DropProb: 1,
+		Transport: testTransport(t),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { deaf.Close() })
-	alive, err := StartNode(NodeConfig{ID: 1, Service: "svc", Directory: dir, SlowProb: -1})
+	alive, err := StartNode(NodeConfig{
+		ID: 1, Service: "svc", Directory: dir, SlowProb: -1,
+		Transport: testTransport(t),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,6 +244,7 @@ func TestQuarantineAfterConsecutiveTimeouts(t *testing.T) {
 		PollRetries:     -1,
 		QuarantineAfter: 2,
 		QuarantineFor:   time.Minute,
+		Transport:       testTransport(t),
 		Seed:            7,
 	})
 	if err != nil {
@@ -157,6 +279,7 @@ func TestNodePauseResume(t *testing.T) {
 	node, err := StartNode(NodeConfig{
 		ID: 0, Service: "svc", Directory: dir,
 		SlowProb: -1, PublishInterval: 50 * time.Millisecond,
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -166,6 +289,7 @@ func TestNodePauseResume(t *testing.T) {
 	c, err := NewClient(ClientConfig{
 		Directory: dir, Service: "svc", Policy: core.NewRandom(),
 		RefreshInterval: 20 * time.Millisecond, AccessRetries: -1, Seed: 8,
+		Transport: testTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +325,7 @@ func TestNodePauseResume(t *testing.T) {
 		pc, err := NewClient(ClientConfig{
 			StaticEndpoints: []Endpoint{node.Endpoint()},
 			Service:         "svc", Policy: core.NewRandom(),
+			Transport:     node.Transport(),
 			AccessRetries: -1, Seed: 9,
 		})
 		if err != nil {

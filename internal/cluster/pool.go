@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"finelb/internal/transport"
 )
 
 // pconn is one pooled TCP connection with its buffered reader/writer.
@@ -29,6 +31,7 @@ const maxConnsPerDest = 512
 // concurrent accesses to the same server each get their own connection,
 // as the paper's multi-threaded client nodes do.
 type connPool struct {
+	tr          transport.Transport
 	addr        string
 	dialTimeout time.Duration
 	slots       chan struct{} // one token per permitted live connection
@@ -38,8 +41,9 @@ type connPool struct {
 	closed bool
 }
 
-func newConnPool(addr string) *connPool {
+func newConnPool(tr transport.Transport, addr string) *connPool {
 	p := &connPool{
+		tr:          tr,
 		addr:        addr,
 		dialTimeout: 2 * time.Second,
 		slots:       make(chan struct{}, maxConnsPerDest),
@@ -70,7 +74,7 @@ func (p *connPool) get() (*pconn, error) {
 		return pc, nil
 	}
 	p.mu.Unlock()
-	c, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+	c, err := p.tr.Dial(p.addr, p.dialTimeout)
 	if err != nil {
 		p.slots <- struct{}{}
 		return nil, err

@@ -7,7 +7,7 @@ import (
 
 func TestConnPoolReusesConnections(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	p := newConnPool(n.AccessAddr())
+	p := newConnPool(testTransport(t), n.AccessAddr())
 	defer p.closeAll()
 
 	pc1, err := p.get()
@@ -27,7 +27,7 @@ func TestConnPoolReusesConnections(t *testing.T) {
 
 func TestConnPoolDiscardReleasesSlot(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	p := newConnPool(n.AccessAddr())
+	p := newConnPool(testTransport(t), n.AccessAddr())
 	defer p.closeAll()
 
 	// Churn through more connections than the cap; discarding each must
@@ -43,7 +43,7 @@ func TestConnPoolDiscardReleasesSlot(t *testing.T) {
 
 func TestConnPoolBoundsConcurrentConnections(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	p := newConnPool(n.AccessAddr())
+	p := newConnPool(testTransport(t), n.AccessAddr())
 	p.dialTimeout = 200 * time.Millisecond
 	defer p.closeAll()
 
@@ -74,39 +74,9 @@ func TestConnPoolBoundsConcurrentConnections(t *testing.T) {
 
 func TestConnPoolGetAfterClose(t *testing.T) {
 	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	p := newConnPool(n.AccessAddr())
+	p := newConnPool(testTransport(t), n.AccessAddr())
 	p.closeAll()
 	if _, err := p.get(); err == nil {
 		t.Fatal("get on closed pool succeeded")
-	}
-}
-
-func TestCallerRoundTrip(t *testing.T) {
-	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	c := NewCaller(time.Second)
-	defer c.Close()
-	resp, err := c.Call(n.Endpoint(), "svc", 0, 500, []byte("ping"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.Status != StatusOK || string(resp.Payload) != "ping" {
-		t.Fatalf("response %+v", resp)
-	}
-	// Sequential calls reuse the pooled connection and keep distinct ids.
-	resp2, err := c.Call(n.Endpoint(), "svc", 0, 0, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp2.ID == resp.ID {
-		t.Fatal("caller reused a request id")
-	}
-}
-
-func TestCallerAfterClose(t *testing.T) {
-	n := startTestNode(t, NodeConfig{ID: 1, Service: "svc"})
-	c := NewCaller(time.Second)
-	c.Close()
-	if _, err := c.Call(n.Endpoint(), "svc", 0, 0, nil); err == nil {
-		t.Fatal("call on closed caller succeeded")
 	}
 }

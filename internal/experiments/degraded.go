@@ -56,7 +56,7 @@ func Degraded(o Options) (*Table, error) {
 	}{
 		{substrate.Sim{}, simAccesses,
 			time.Duration(0.4 * simSeconds * float64(time.Second)), 0},
-		{substrate.Proto{}, protoAccesses(w, servers, rho, protoSeconds),
+		{substrate.Proto{Transport: o.Transport}, protoAccesses(w, servers, rho, protoSeconds),
 			time.Duration(0.4 * protoSeconds * float64(time.Second)), degradedTTL},
 	}
 	for _, m := range matrix {

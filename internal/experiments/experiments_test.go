@@ -52,7 +52,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -276,6 +276,42 @@ func TestFigure6Prototype(t *testing.T) {
 			t.Errorf("row %d (%s): poll2 %v not below random %v (+20%% noise band)",
 				r, tbl.Rows[r][0], poll2, random)
 		}
+	}
+}
+
+func TestFigure6Mem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("in-memory sweep still sleeps through real service times (~30s)")
+	}
+	tbl, err := Figure6Mem(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // 3 workloads x 1 load (quick)
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	randomCol := colIndex(t, tbl, "random")
+	poll2Col := colIndex(t, tbl, "poll 2")
+	for r := range tbl.Rows {
+		random := cellF(t, tbl, r, randomCol)
+		poll2 := cellF(t, tbl, r, poll2Col)
+		// Same ordering check as the socket sweep: swapping the transport
+		// must not invert the paper's poll-vs-random effect.
+		if poll2 >= random*1.2 {
+			t.Errorf("row %d (%s): poll2 %v not below random %v (+20%% noise band)",
+				r, tbl.Rows[r][0], poll2, random)
+		}
+	}
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	o := quickOpts
+	o.Transport = "carrier-pigeon"
+	if _, err := Table2(o); err == nil {
+		t.Error("Table2 accepted an unknown transport")
+	}
+	if _, err := Failover(o); err == nil {
+		t.Error("Failover accepted an unknown transport")
 	}
 }
 

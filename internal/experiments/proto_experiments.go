@@ -7,12 +7,27 @@ import (
 	"finelb/internal/cluster"
 	"finelb/internal/core"
 	"finelb/internal/substrate"
+	"finelb/internal/transport"
 	"finelb/internal/workload"
 )
 
 // DiscardThreshold is the slow-poll discard threshold of §3.2
 // (restored from OCR; see DESIGN.md §4).
 const DiscardThreshold = 10 * time.Millisecond
+
+// protoTransport resolves o.Transport for experiments that drive
+// cluster.RunExperiment directly: nil lets the cluster layer default to
+// real sockets, "mem" builds a seeded in-memory fabric.
+func protoTransport(o Options, seed uint64) (transport.Transport, error) {
+	switch o.Transport {
+	case "", "net":
+		return nil, nil
+	case "mem":
+		return transport.NewMem(transport.MemConfig{Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown transport %q", o.Transport)
+	}
+}
 
 // protoAccesses sizes a prototype cell so it spans about targetSeconds
 // of wall time at the cell's arrival rate.
@@ -34,7 +49,7 @@ func protoAccesses(w workload.Workload, servers int, rho, targetSeconds float64)
 // different substrate.
 func Figure6(o Options) (*Table, error) {
 	seconds := pick(o, 8.0, 2.2)
-	t, err := pollSizeSweep(o, substrate.Proto{}, "figure6",
+	t, err := pollSizeSweep(o, substrate.Proto{Transport: o.Transport}, "figure6",
 		"Impact of poll size, prototype with 16 servers (real sockets), mean response time in ms",
 		pick(o, core.PaperFigurePolicies(), []core.Policy{
 			core.NewRandom(), core.NewPoll(2), core.NewPoll(8), core.NewIdeal(),
@@ -47,6 +62,35 @@ func Figure6(o Options) (*Table, error) {
 		return nil, err
 	}
 	t.AddNote("results are without discarding slow polls, as in the paper's Figure 6")
+	return t, nil
+}
+
+// Figure6Mem reruns the Figure 6 poll-size sweep on the in-memory
+// fabric: the same prototype protocol code with no kernel sockets. It
+// sanity-checks that the poll-size ordering survives the transport
+// swap, and gives CI a socket-free prototype figure.
+//
+// The sweep runs at real time (TimeScale 1): the Fine-Grain trace's
+// 2.22 ms mean service time already sits at the floor where sleep and
+// scheduler overshoot are a meaningful fraction of a service, so
+// compressing time further inflates effective utilization past 1 and
+// collapses the poll-vs-random ordering.
+func Figure6Mem(o Options) (*Table, error) {
+	seconds := pick(o, 8.0, 2.2)
+	t, err := pollSizeSweep(o,
+		substrate.Proto{Transport: "mem"}, "figure6mem",
+		"Impact of poll size, prototype with 16 servers (in-memory fabric), mean response time in ms",
+		pick(o, core.PaperFigurePolicies(), []core.Policy{
+			core.NewRandom(), core.NewPoll(2), core.NewPoll(8), core.NewIdeal(),
+		}),
+		pick(o, paperLoads, []float64{0.9}),
+		func(w workload.Workload, rho float64) int {
+			return protoAccesses(w, sweepServers, rho, seconds)
+		})
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("same sweep as figure6 over transport.Mem: no kernel sockets, so differences against figure6 isolate the transport's share of poll latency")
 	return t, nil
 }
 
@@ -67,9 +111,15 @@ func Table2(o Options) (*Table, error) {
 		scaled := w.ScaledTo(servers, 0.9)
 		accesses := protoAccesses(w, servers, 0.9, seconds)
 		run := func(p core.Policy) (*cluster.ExperimentResult, error) {
+			// A fresh fabric per run mirrors substrate.Proto: no state
+			// leaks between the original and optimized measurements.
+			tr, err := protoTransport(o, o.Seed)
+			if err != nil {
+				return nil, err
+			}
 			return cluster.RunExperiment(cluster.ExperimentConfig{
 				Servers: servers, Clients: 6,
-				Workload: scaled, Policy: p,
+				Workload: scaled, Policy: p, Transport: tr,
 				Accesses: accesses, Seed: o.Seed,
 			})
 		}
@@ -111,11 +161,16 @@ func PollProfile(o Options) (*Table, error) {
 		Header: []string{"Workload", "MeanPoll(ms)", ">10ms", ">20ms", "Polls"},
 	}
 	for _, w := range workloads {
+		tr, err := protoTransport(o, o.Seed)
+		if err != nil {
+			return nil, err
+		}
 		res, err := cluster.RunExperiment(cluster.ExperimentConfig{
 			Servers: servers, Clients: 6,
 			Workload: w.ScaledTo(servers, 0.9), Policy: core.NewPoll(3),
-			Accesses: protoAccesses(w, servers, 0.9, seconds),
-			Seed:     o.Seed,
+			Transport: tr,
+			Accesses:  protoAccesses(w, servers, 0.9, seconds),
+			Seed:      o.Seed,
 		})
 		if err != nil {
 			return nil, err
@@ -140,11 +195,17 @@ func Failover(o Options) (*Table, error) {
 		Header: []string{"Phase", "Accesses", "Errors"},
 	}
 	dir := cluster.NewDirectory(300 * time.Millisecond)
+	// Every node and the client must share one fabric, or they could
+	// not reach each other's addresses.
+	tr, err := protoTransport(o, o.Seed)
+	if err != nil {
+		return nil, err
+	}
 	var nodes []*cluster.Node
 	for i := 0; i < 4; i++ {
 		n, err := cluster.StartNode(cluster.NodeConfig{
 			ID: i, Service: "svc", Directory: dir, PublishInterval: 50 * time.Millisecond,
-			SlowProb: -1, Seed: o.Seed + uint64(i),
+			SlowProb: -1, Seed: o.Seed + uint64(i), Transport: tr,
 		})
 		if err != nil {
 			return nil, err
@@ -157,7 +218,7 @@ func Failover(o Options) (*Table, error) {
 		}
 	}()
 	c, err := cluster.NewClient(cluster.ClientConfig{
-		Directory: dir, Service: "svc",
+		Directory: dir, Service: "svc", Transport: tr,
 		Policy:          core.NewPollDiscard(2, 50*time.Millisecond),
 		RefreshInterval: 50 * time.Millisecond, Seed: o.Seed,
 	})

@@ -136,6 +136,10 @@ type Options struct {
 	Quick bool
 	// Seed drives every random stream in the experiment.
 	Seed uint64
+	// Transport selects the prototype messaging substrate: "" or "net"
+	// for real loopback sockets, "mem" for the deterministic in-memory
+	// fabric. Simulator-only experiments ignore it.
+	Transport string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }

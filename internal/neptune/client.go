@@ -46,7 +46,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	return &Client{
 		cfg:    cfg,
-		caller: cluster.NewCaller(0),
+		caller: cluster.NewCaller(nil, 0),
 		reads:  make(map[uint32]*cluster.Client),
 	}, nil
 }

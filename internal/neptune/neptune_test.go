@@ -94,7 +94,7 @@ func TestCommutativeCounterReplication(t *testing.T) {
 	wg.Wait()
 
 	// Every replica must hold the same total.
-	caller := cluster.NewCaller(0)
+	caller := cluster.NewCaller(nil, 0)
 	defer caller.Close()
 	q, _ := encodeEnvelope(envelope{op: opQuery, method: "sum"})
 	for i, s := range servers {
@@ -143,7 +143,7 @@ func TestPrimaryOrderedKVReplication(t *testing.T) {
 	}
 	wg.Wait()
 
-	caller := cluster.NewCaller(0)
+	caller := cluster.NewCaller(nil, 0)
 	defer caller.Close()
 	q, _ := encodeEnvelope(envelope{op: opQuery, method: "get", arg: []byte("key")})
 	var vals []string
@@ -182,7 +182,7 @@ func TestPrimaryOrderedKVReplication(t *testing.T) {
 func TestPrimaryRejectsWriteAtSecondary(t *testing.T) {
 	_, servers := startService(t, 2, PrimaryOrdered, []uint32{0},
 		func(uint32) StateMachine { return NewKVStore() })
-	caller := cluster.NewCaller(0)
+	caller := cluster.NewCaller(nil, 0)
 	defer caller.Close()
 	w, _ := encodeEnvelope(envelope{op: opWrite, method: "put", arg: EncodeKV("k", []byte("v"))})
 	// Node 1 is a secondary (node 0 is the lowest id): it must refuse.
@@ -209,7 +209,7 @@ func TestReplicateOutOfOrderBuffered(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	caller := cluster.NewCaller(0)
+	caller := cluster.NewCaller(nil, 0)
 	defer caller.Close()
 
 	send := func(seq uint64, val string) {
@@ -275,7 +275,7 @@ func TestRecoveryResync(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	caller := cluster.NewCaller(0)
+	caller := cluster.NewCaller(nil, 0)
 	defer caller.Close()
 	for part, want := range map[uint32]string{0: "1", 1: "1x"} {
 		q, _ := encodeEnvelope(envelope{op: opQuery, method: "get", arg: []byte("a")})

@@ -69,7 +69,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		cfg:    cfg,
-		caller: cluster.NewCaller(0),
+		caller: cluster.NewCaller(nil, 0),
 		parts:  make(map[uint32]*partitionState, len(cfg.Partitions)),
 	}
 	for _, p := range cfg.Partitions {

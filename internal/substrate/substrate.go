@@ -21,6 +21,7 @@ import (
 	"finelb/internal/core"
 	"finelb/internal/faults"
 	"finelb/internal/simcluster"
+	"finelb/internal/transport"
 	"finelb/internal/workload"
 )
 
@@ -45,6 +46,11 @@ type RunSpec struct {
 	// runs use a short TTL so crashed nodes expire quickly). The
 	// simulator has no directory and ignores it.
 	DirTTL time.Duration
+	// QuarantineAfter tunes the prototype clients' consecutive-silence
+	// quarantine (zero keeps the default; negative disables it, which
+	// deterministic in-memory runs need because quarantine expiry is
+	// wall-clock driven). The simulator ignores it.
+	QuarantineAfter int
 }
 
 // RunResult carries the measurements common to both substrates, in
@@ -67,6 +73,11 @@ type RunResult struct {
 	PollRequests   int64
 	PollResponses  int64
 	PollsDiscarded int64
+	// PollsLate counts the subset of PollsDiscarded whose answer
+	// eventually arrived after the discard deadline (§3.2's slow polls,
+	// as opposed to datagrams lost outright). The simulator does not
+	// model late delivery separately and reports zero.
+	PollsLate int64
 
 	// Lost counts accesses that never produced a response despite
 	// retries; Retries counts poll re-rounds plus access re-attempts.
@@ -120,31 +131,59 @@ func (Sim) Run(spec RunSpec) (*RunResult, error) {
 	}, nil
 }
 
-// Proto is the real-socket prototype substrate (cluster.RunExperiment):
-// an in-process Neptune-lite cluster over loopback UDP/TCP with the
-// §3.2 contention model active.
-type Proto struct{}
+// Proto is the real-message prototype substrate (cluster.RunExperiment):
+// an in-process Neptune-lite cluster exchanging real protocol messages,
+// with the §3.2 contention model active. The zero value runs over
+// loopback UDP/TCP exactly as before the transport seam existed.
+type Proto struct {
+	// Transport selects the messaging substrate: "" or "net" for real
+	// loopback sockets, "mem" for the deterministic in-memory fabric
+	// (transport.Mem, seeded from each spec's Seed).
+	Transport string
+	// TimeScale shrinks (<1) or stretches (>1) every arrival interval
+	// and service time without changing the load level; zero means 1.
+	// In-memory runs typically compress time, since they pay no kernel
+	// scheduling cost.
+	TimeScale float64
+}
 
 // Name implements Substrate.
-func (Proto) Name() string { return "proto" }
+func (p Proto) Name() string {
+	if p.Transport == "mem" {
+		return "proto-mem"
+	}
+	return "proto"
+}
 
 // Run implements Substrate.
-func (Proto) Run(spec RunSpec) (*RunResult, error) {
+func (p Proto) Run(spec RunSpec) (*RunResult, error) {
+	var tr transport.Transport
+	switch p.Transport {
+	case "", "net":
+		// nil lets the cluster layer default to transport.Net.
+	case "mem":
+		tr = transport.NewMem(transport.MemConfig{Seed: spec.Seed})
+	default:
+		return nil, fmt.Errorf("substrate proto: unknown transport %q", p.Transport)
+	}
 	res, err := cluster.RunExperiment(cluster.ExperimentConfig{
-		Servers:  spec.Servers,
-		Clients:  spec.Clients,
-		Workload: spec.Workload,
-		Policy:   spec.Policy,
-		Accesses: spec.Accesses,
-		Seed:     spec.Seed,
-		Faults:   spec.Faults,
-		DirTTL:   spec.DirTTL,
+		Servers:         spec.Servers,
+		Clients:         spec.Clients,
+		Workload:        spec.Workload,
+		Policy:          spec.Policy,
+		Transport:       tr,
+		TimeScale:       p.TimeScale,
+		Accesses:        spec.Accesses,
+		Seed:            spec.Seed,
+		Faults:          spec.Faults,
+		DirTTL:          spec.DirTTL,
+		QuarantineAfter: spec.QuarantineAfter,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("substrate proto: %w", err)
+		return nil, fmt.Errorf("substrate %s: %w", p.Name(), err)
 	}
 	return &RunResult{
-		Substrate:      "proto",
+		Substrate:      p.Name(),
 		MeanResponse:   res.Response.Mean(),
 		P50Response:    res.Response.Percentile(0.50),
 		P95Response:    res.Response.Percentile(0.95),
@@ -154,6 +193,7 @@ func (Proto) Run(spec RunSpec) (*RunResult, error) {
 		PollRequests:   res.Polled,
 		PollResponses:  res.Answered,
 		PollsDiscarded: res.Discarded,
+		PollsLate:      res.LateAnswers,
 		Lost:           res.Lost,
 		Retries:        res.Retries,
 	}, nil

@@ -2,8 +2,10 @@ package substrate
 
 import (
 	"testing"
+	"time"
 
 	"finelb/internal/core"
+	"finelb/internal/faults"
 	"finelb/internal/workload"
 )
 
@@ -74,5 +76,104 @@ func TestProtoRun(t *testing.T) {
 	}
 	if res.PollRequests == 0 {
 		t.Error("polling policy sent no inquiries")
+	}
+}
+
+func TestProtoNames(t *testing.T) {
+	if got := (Proto{}).Name(); got != "proto" {
+		t.Errorf("Proto{}.Name() = %q", got)
+	}
+	if got := (Proto{Transport: "mem"}).Name(); got != "proto-mem" {
+		t.Errorf("mem name = %q", got)
+	}
+}
+
+func TestProtoRejectsUnknownTransport(t *testing.T) {
+	w := workload.PoissonExp(0.005).ScaledTo(2, 0.5)
+	_, err := Proto{Transport: "carrier-pigeon"}.Run(RunSpec{
+		Servers: 2, Workload: w, Policy: core.NewRandom(), Accesses: 10, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestProtoMemRun(t *testing.T) {
+	// The in-memory fabric needs no file descriptors, so this runs even
+	// in -short mode where the socket-based prototype test is skipped.
+	w := workload.PoissonExp(0.005).ScaledTo(2, 0.5)
+	res, err := Proto{Transport: "mem", TimeScale: 0.5}.Run(RunSpec{
+		Servers: 2, Workload: w, Policy: core.NewPoll(2),
+		Accesses: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Substrate != "proto-mem" {
+		t.Errorf("Substrate = %q", res.Substrate)
+	}
+	if res.MeanResponse <= 0 || res.Responses == 0 {
+		t.Errorf("no responses measured: %+v", res)
+	}
+	if res.PollRequests == 0 || res.PollResponses == 0 {
+		t.Errorf("poll counters: %d requests, %d responses", res.PollRequests, res.PollResponses)
+	}
+}
+
+// counts projects a RunResult onto its timing-independent message and
+// failure counters — the fields two identical in-memory runs must
+// reproduce exactly, however the scheduler interleaves them.
+func counts(r *RunResult) [6]int64 {
+	return [6]int64{r.PollRequests, r.PollResponses, r.PollsDiscarded, r.PollsLate, r.Lost, r.Retries}
+}
+
+func TestProtoMemDeterministicUnderFaults(t *testing.T) {
+	// Loss 1.0 on every client→server poll link makes every inquiry's
+	// fate fixed: each access burns the full poll round plus one retry,
+	// discards everything, and falls back to random selection. With
+	// quarantine disabled (its expiry is wall-clock driven) the message
+	// counts are a pure function of the spec, so two runs must agree
+	// bit-for-bit on every counter — the property that makes the mem
+	// transport useful for regression-testing fault handling.
+	w := workload.PoissonExp(0.005).ScaledTo(2, 0.5)
+	spec := RunSpec{
+		Servers: 2, Workload: w,
+		Policy:   core.NewPollDiscard(2, 5*time.Millisecond),
+		Accesses: 100, Seed: 7,
+		Faults: &faults.Schedule{
+			Seed:  7,
+			Links: []faults.LinkRule{{Client: -1, Server: -1, Loss: 1}},
+		},
+		QuarantineAfter: -1,
+	}
+	sub := Proto{Transport: "mem", TimeScale: 0.5}
+
+	first, err := sub.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sub.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts(first) != counts(second) {
+		t.Errorf("identical mem runs diverged:\n%+v\nvs\n%+v", counts(first), counts(second))
+	}
+
+	// The counts are also predictable in closed form: poll size 2 per
+	// round, one dry-round retry per access, everything discarded.
+	if first.PollResponses != 0 {
+		t.Errorf("total loss still produced %d answers", first.PollResponses)
+	}
+	wantPolled := int64(spec.Accesses) * 2 * 2 // 2 inquiries × (1 round + 1 retry)
+	if first.PollRequests != wantPolled || first.PollsDiscarded != wantPolled {
+		t.Errorf("polled %d discarded %d, want %d each",
+			first.PollRequests, first.PollsDiscarded, wantPolled)
+	}
+	if first.Lost != 0 {
+		t.Errorf("lost %d accesses; the access path carries no faults", first.Lost)
+	}
+	if first.Retries < int64(spec.Accesses) {
+		t.Errorf("retries %d, want at least one dry-round retry per access", first.Retries)
 	}
 }

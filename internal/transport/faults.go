@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"finelb/internal/faults"
+)
+
+// WithFaults layers a schedule's per-link rules (faults.LinkRule)
+// onto a transport: every datagram written on a packet connection
+// dialed with a real Link passes the link's loss/latency replay
+// before entering the underlying transport. This is the one place in
+// the repository that replays LinkRules for the prototype — the same
+// decorator serves both Net and Mem, so both substrates honor the
+// same fault schedule identically.
+//
+// A dropped write still reports success, exactly as a kernel accepts
+// a datagram that the network then loses: the sender counts it as
+// sent and discovers the loss only through silence. Added latency
+// delays the outgoing inquiry, which reaches the client's poll clock
+// the same way the lost time would on a slow link.
+//
+// Stream traffic, listening sockets, and NoLink dials pass through
+// untouched. A nil or link-rule-free schedule returns inner
+// unchanged.
+func WithFaults(inner Transport, sched *faults.Schedule) Transport {
+	if sched == nil || len(sched.Links) == 0 {
+		return inner
+	}
+	return &faultTransport{
+		inner:  inner,
+		sched:  sched,
+		states: make(map[int]*faults.LinkState),
+	}
+}
+
+type faultTransport struct {
+	inner Transport
+	sched *faults.Schedule
+
+	mu     sync.Mutex
+	states map[int]*faults.LinkState
+}
+
+// state returns the client's deterministic link-fault stream, shared
+// by every connection that client dials.
+func (f *faultTransport) state(client int) *faults.LinkState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.states[client]
+	if !ok {
+		s = f.sched.NewLinkState(client)
+		f.states[client] = s
+	}
+	return s
+}
+
+func (f *faultTransport) Listen() (Listener, error) { return f.inner.Listen() }
+
+func (f *faultTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return f.inner.Dial(addr, timeout)
+}
+
+func (f *faultTransport) ListenPacket() (PacketConn, error) { return f.inner.ListenPacket() }
+
+func (f *faultTransport) DialPacket(addr string, link Link) (PacketConn, error) {
+	pc, err := f.inner.DialPacket(addr, link)
+	if err != nil || !link.real() {
+		return pc, err
+	}
+	return &faultPacketConn{PacketConn: pc, state: f.state(link.Client), server: link.Server}, nil
+}
+
+// faultPacketConn replays one link's faults on outgoing datagrams.
+type faultPacketConn struct {
+	PacketConn
+	state  *faults.LinkState
+	server int
+}
+
+func (c *faultPacketConn) Write(p []byte) (int, error) {
+	drop, delay := c.state.PollFault(c.server)
+	if drop {
+		return len(p), nil
+	}
+	if delay > 0 {
+		buf := append([]byte(nil), p...)
+		time.AfterFunc(delay, func() { _, _ = c.PacketConn.Write(buf) })
+		return len(p), nil
+	}
+	return c.PacketConn.Write(p)
+}

@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"finelb/internal/stats"
+)
+
+// MemConfig parameterizes the in-memory fabric's ambient network
+// model. The model applies to datagrams (the unreliable plane: load
+// inquiries, directory traffic); streams are reliable in-process
+// pipes with no modeled latency, so access response times are
+// dominated by service time exactly as on loopback TCP. Injected
+// per-link faults are a separate mechanism layered on top
+// (WithFaults) and work identically on both transports.
+type MemConfig struct {
+	// Seed drives the loss and jitter draws; the same seed and the
+	// same send sequence replay the same deliveries.
+	Seed uint64
+	// Latency is the base one-way datagram delay (default 0: delivery
+	// on the sender's goroutine).
+	Latency time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) per datagram.
+	Jitter time.Duration
+	// Loss is the probability a datagram silently disappears.
+	Loss float64
+}
+
+// Mem is the in-process transport: a channel fabric carrying
+// datagrams between registered endpoints and net.Pipe byte streams
+// between dialers and listeners. It needs no file descriptors, so
+// cluster size is bounded by memory, not OS socket limits, and with
+// zero Latency/Loss its behavior is independent of wall-clock timing.
+//
+// One Mem value is one isolated network; components can only reach
+// addresses issued by the same fabric.
+type Mem struct {
+	cfg MemConfig
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	next      int
+	endpoints map[string]*memEndpoint
+	listeners map[string]*memListener
+}
+
+// NewMem builds an isolated in-memory fabric.
+func NewMem(cfg MemConfig) *Mem {
+	return &Mem{
+		cfg:       cfg,
+		rng:       stats.NewRNG(cfg.Seed ^ 0x6d656d6661627269), // "memfabri"
+		endpoints: make(map[string]*memEndpoint),
+		listeners: make(map[string]*memListener),
+	}
+}
+
+// nextAddr issues a fresh fabric address. Caller holds m.mu.
+func (m *Mem) nextAddr() string {
+	m.next++
+	return fmt.Sprintf("mem:%d", m.next)
+}
+
+// memInboxCap bounds each endpoint's datagram queue; like a kernel
+// socket buffer, overflow drops.
+const memInboxCap = 4096
+
+type memDatagram struct {
+	from    string
+	payload []byte
+}
+
+// Listen implements Transport.
+func (m *Mem) Listen() (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := &memListener{
+		fab:    m,
+		addr:   m.nextAddr(),
+		accept: make(chan net.Conn, 16),
+		closed: make(chan struct{}),
+	}
+	m.listeners[l.addr] = l
+	return l, nil
+}
+
+// Dial implements Transport. Unlike UDP sends, stream dials to an
+// address with no live listener fail immediately (connection
+// refused), mirroring loopback TCP.
+func (m *Mem) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errors.New("connection refused: no listener at " + addr)}
+	}
+	c1, c2 := net.Pipe()
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case l.accept <- c2:
+		return c1, nil
+	case <-l.closed:
+		c1.Close()
+		c2.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errors.New("connection refused: listener closed")}
+	case <-timeoutCh:
+		c1.Close()
+		c2.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: os.ErrDeadlineExceeded}
+	}
+}
+
+// ListenPacket implements Transport.
+func (m *Mem) ListenPacket() (PacketConn, error) {
+	return m.newEndpoint(""), nil
+}
+
+// DialPacket implements Transport. Like net.DialUDP, dialing needs no
+// live peer; datagrams to a dead address are silently dropped.
+func (m *Mem) DialPacket(addr string, _ Link) (PacketConn, error) {
+	return m.newEndpoint(addr), nil
+}
+
+func (m *Mem) newEndpoint(peer string) *memEndpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := &memEndpoint{
+		fab:    m,
+		addr:   m.nextAddr(),
+		peer:   peer,
+		inbox:  make(chan memDatagram, memInboxCap),
+		closed: make(chan struct{}),
+	}
+	m.endpoints[e.addr] = e
+	return e
+}
+
+// deliver routes one datagram through the fabric's loss/latency model
+// toward the endpoint registered at to.
+func (m *Mem) deliver(from, to string, p []byte) {
+	var delay time.Duration
+	if m.cfg.Loss > 0 || m.cfg.Jitter > 0 {
+		m.mu.Lock()
+		if m.cfg.Loss > 0 && m.rng.Float64() < m.cfg.Loss {
+			m.mu.Unlock()
+			return
+		}
+		if m.cfg.Jitter > 0 {
+			delay = time.Duration(m.rng.Float64() * float64(m.cfg.Jitter))
+		}
+		m.mu.Unlock()
+	}
+	delay += m.cfg.Latency
+	buf := append([]byte(nil), p...)
+	if delay <= 0 {
+		m.inject(from, to, buf)
+		return
+	}
+	time.AfterFunc(delay, func() { m.inject(from, to, buf) })
+}
+
+// inject queues a datagram at its destination; unknown destinations
+// and full inboxes drop it, as UDP would.
+func (m *Mem) inject(from, to string, p []byte) {
+	m.mu.Lock()
+	ep := m.endpoints[to]
+	m.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	select {
+	case ep.inbox <- memDatagram{from: from, payload: p}:
+	default:
+	}
+}
+
+// memEndpoint is one datagram endpoint on the fabric.
+type memEndpoint struct {
+	fab  *Mem
+	addr string
+	peer string // fixed peer of a dialed endpoint; "" when listening
+
+	inbox chan memDatagram
+
+	mu       sync.Mutex
+	deadline time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (e *memEndpoint) ReadFrom(p []byte) (int, string, error) {
+	e.mu.Lock()
+	deadline := e.deadline
+	e.mu.Unlock()
+	var timeoutCh <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, "", os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case dg := <-e.inbox:
+		return copy(p, dg.payload), dg.from, nil
+	case <-e.closed:
+		return 0, "", net.ErrClosed
+	case <-timeoutCh:
+		return 0, "", os.ErrDeadlineExceeded
+	}
+}
+
+func (e *memEndpoint) Read(p []byte) (int, error) {
+	for {
+		n, from, err := e.ReadFrom(p)
+		if err != nil {
+			return n, err
+		}
+		// A dialed endpoint sees only its peer, like a connected socket.
+		if e.peer == "" || from == e.peer {
+			return n, nil
+		}
+	}
+}
+
+func (e *memEndpoint) WriteTo(p []byte, addr string) (int, error) {
+	if e.isClosed() {
+		return 0, net.ErrClosed
+	}
+	e.fab.deliver(e.addr, addr, p)
+	return len(p), nil
+}
+
+func (e *memEndpoint) Write(p []byte) (int, error) {
+	if e.peer == "" {
+		return 0, errors.New("transport: Write on an unconnected packet endpoint")
+	}
+	return e.WriteTo(p, e.peer)
+}
+
+func (e *memEndpoint) LocalAddr() string { return e.addr }
+
+func (e *memEndpoint) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.deadline = t
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *memEndpoint) isClosed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.fab.mu.Lock()
+		delete(e.fab.endpoints, e.addr)
+		e.fab.mu.Unlock()
+		close(e.closed)
+	})
+	return nil
+}
+
+// memListener accepts fabric stream connections.
+type memListener struct {
+	fab    *Mem
+	addr   string
+	accept chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		l.fab.mu.Lock()
+		delete(l.fab.listeners, l.addr)
+		l.fab.mu.Unlock()
+		close(l.closed)
+	})
+	return nil
+}

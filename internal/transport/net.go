@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Net is the real-socket transport: loopback TCP streams and UDP
+// datagrams, exactly what the prototype used before the transport
+// seam existed. The zero value is ready to use; every Net value
+// shares the one OS network stack.
+type Net struct{}
+
+// Listen implements Transport.
+func (Net) Listen() (Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return netListener{ln}, nil
+}
+
+// Dial implements Transport.
+func (Net) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		return net.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// ListenPacket implements Transport.
+func (Net) ListenPacket() (PacketConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &netPacketConn{c: conn}, nil
+}
+
+// DialPacket implements Transport. The link is carried by the fault
+// decorator (WithFaults), not by Net itself.
+func (Net) DialPacket(addr string, _ Link) (PacketConn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	return &netPacketConn{c: conn}, nil
+}
+
+type netListener struct{ ln net.Listener }
+
+func (l netListener) Accept() (net.Conn, error) { return l.ln.Accept() }
+func (l netListener) Addr() string              { return l.ln.Addr().String() }
+func (l netListener) Close() error              { return l.ln.Close() }
+
+// netPacketConn adapts *net.UDPConn to PacketConn. It caches resolved
+// peer addresses so the node's answer path (one WriteTo per inquiry)
+// does not re-parse the same client address thousands of times.
+type netPacketConn struct {
+	c *net.UDPConn
+
+	mu    sync.Mutex
+	peers map[string]*net.UDPAddr
+}
+
+func (p *netPacketConn) ReadFrom(b []byte) (int, string, error) {
+	n, addr, err := p.c.ReadFromUDP(b)
+	from := ""
+	if addr != nil {
+		from = addr.String()
+	}
+	return n, from, err
+}
+
+func (p *netPacketConn) WriteTo(b []byte, to string) (int, error) {
+	p.mu.Lock()
+	addr := p.peers[to]
+	p.mu.Unlock()
+	if addr == nil {
+		var err error
+		addr, err = net.ResolveUDPAddr("udp", to)
+		if err != nil {
+			return 0, err
+		}
+		p.mu.Lock()
+		if p.peers == nil || len(p.peers) > 4096 {
+			p.peers = make(map[string]*net.UDPAddr)
+		}
+		p.peers[to] = addr
+		p.mu.Unlock()
+	}
+	return p.c.WriteToUDP(b, addr)
+}
+
+func (p *netPacketConn) Read(b []byte) (int, error)        { return p.c.Read(b) }
+func (p *netPacketConn) Write(b []byte) (int, error)       { return p.c.Write(b) }
+func (p *netPacketConn) LocalAddr() string                 { return p.c.LocalAddr().String() }
+func (p *netPacketConn) SetReadDeadline(t time.Time) error { return p.c.SetReadDeadline(t) }
+func (p *netPacketConn) Close() error                      { return p.c.Close() }

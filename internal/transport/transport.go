@@ -1,0 +1,91 @@
+// Package transport abstracts everything the prototype does with the
+// network — UDP load inquiries, TCP service accesses, UDP directory
+// traffic — behind a small set of interfaces so the same cluster code
+// runs over two substrates:
+//
+//   - Net: real loopback sockets, the paper's Figure 6 conditions.
+//   - Mem: an in-process channel fabric with a seedable latency/loss
+//     model and no file descriptors, for deterministic fast runs and
+//     clusters beyond OS socket limits.
+//
+// Addresses are plain strings in whatever format the transport issues
+// ("127.0.0.1:53412" for Net, "mem:7" for Mem); components treat them
+// as opaque tokens obtained from LocalAddr/Addr and passed back to
+// Dial/DialPacket/WriteTo.
+//
+// The transport seam is also where the fault-injection subsystem's
+// per-link rules are replayed: see WithFaults.
+package transport
+
+import (
+	"net"
+	"time"
+)
+
+// Link identifies the logical client→server edge a dialed packet
+// connection belongs to, so injected per-link faults
+// (faults.LinkRule) can be replayed at the transport seam. Use NoLink
+// for traffic with no per-link fault semantics (directory lookups).
+type Link struct {
+	Client int
+	Server int
+}
+
+// NoLink marks a packet connection as exempt from link-fault replay.
+var NoLink = Link{Client: -1, Server: -1}
+
+// real reports whether the link names an actual client→server edge.
+func (l Link) real() bool { return l.Client >= 0 && l.Server >= 0 }
+
+// PacketConn is a datagram endpoint (UDP-like: unreliable, unordered
+// in principle, message-preserving). A listening conn (ListenPacket)
+// uses ReadFrom/WriteTo with peer addresses; a dialed conn
+// (DialPacket) uses Read/Write against its fixed peer.
+type PacketConn interface {
+	// ReadFrom receives one datagram and the sender's address.
+	ReadFrom(p []byte) (n int, from string, err error)
+	// WriteTo sends one datagram to addr. Sends to unknown or dead
+	// addresses are silently dropped, as UDP drops them.
+	WriteTo(p []byte, addr string) (int, error)
+	// Read receives one datagram on a dialed connection.
+	Read(p []byte) (int, error)
+	// Write sends one datagram to the dialed peer.
+	Write(p []byte) (int, error)
+	// LocalAddr is the address peers send datagrams back to.
+	LocalAddr() string
+	// SetReadDeadline bounds future Read/ReadFrom calls; reads past
+	// the deadline fail with a timeout error (os.ErrDeadlineExceeded).
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// Listener accepts stream connections (TCP-like: reliable, ordered
+// byte streams satisfying net.Conn).
+type Listener interface {
+	Accept() (net.Conn, error)
+	// Addr is the address Dial reaches this listener at.
+	Addr() string
+	Close() error
+}
+
+// Transport is one messaging substrate: it can open stream and
+// datagram endpoints and connect to them by address. Implementations
+// are safe for concurrent use by any number of nodes and clients.
+type Transport interface {
+	// Listen opens a stream listener on a fresh address.
+	Listen() (Listener, error)
+	// Dial connects to a stream listener. A non-positive timeout means
+	// no bound.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+	// ListenPacket opens a datagram endpoint on a fresh address.
+	ListenPacket() (PacketConn, error)
+	// DialPacket opens a datagram endpoint connected to addr, so Write
+	// needs no address and Read sees only that peer's datagrams. link
+	// names the logical edge for fault replay (NoLink when none).
+	DialPacket(addr string, link Link) (PacketConn, error)
+}
+
+// Default returns the transport used when a component's config leaves
+// the choice empty: real loopback sockets, preserving the prototype's
+// original behavior.
+func Default() Transport { return Net{} }
