@@ -4,22 +4,31 @@
 //
 // Usage:
 //
-//	lbmanager -n 4
+//	lbmanager -n 4 [-http :0] [-pprof]
+//
+// With -http the manager serves its protocol counters at /metrics
+// (refreshed at scrape time from the manager's own state) and, with
+// -pprof, the net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"finelb/internal/cluster"
+	"finelb/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 4, "number of servers the manager tracks (must match the node count and ordering)")
 	seed := flag.Uint64("seed", 1, "random seed for tie-breaking")
+	httpAddr := flag.String("http", "", "serve /metrics (JSON obs snapshot) on this address; empty disables")
+	pprofOn := flag.Bool("pprof", false, "with -http, also expose /debug/pprof/ handlers")
 	flag.Parse()
 
 	m, err := cluster.StartIdealManager(nil, *n, *seed)
@@ -29,6 +38,38 @@ func main() {
 	}
 	fmt.Println(m.Addr())
 	fmt.Fprintf(os.Stderr, "lbmanager: tracking %d servers; Ctrl-C to stop\n", *n)
+
+	if *httpAddr != "" {
+		// The manager keeps its counters under its own lock rather than
+		// in an obs registry, so the endpoint republishes them as gauges
+		// refreshed at scrape time.
+		reg := obs.NewRegistry()
+		acquires := reg.Gauge("manager_acquires")
+		releases := reg.Gauge("manager_releases")
+		outstanding := reg.Gauge("manager_outstanding")
+		mux := obs.NewMux(reg, nil, *pprofOn)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbmanager:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			st := m.Stats()
+			acquires.Set(st.Acquires)
+			releases.Set(st.Releases)
+			var sum int64
+			for _, c := range m.Counts() {
+				sum += c
+			}
+			outstanding.Set(sum)
+			mux.ServeHTTP(w, r)
+		}))
+		fmt.Fprintf(os.Stderr, "lbmanager: metrics at http://%s/metrics\n", ln.Addr())
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "lbmanager: -pprof requires -http")
+		os.Exit(2)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,21 +5,28 @@
 // Usage:
 //
 //	lbnode [-n 4] [-service translate] [-workers 1] [-spin]
-//	       [-slowprob 0.15] [-seed 1]
+//	       [-slowprob 0.15] [-seed 1] [-http :0] [-pprof]
 //
 // Output format (stdout), one line per node:
 //
 //	<id> <access tcp addr> <load udp addr>
+//
+// With -http the process serves the shared obs metric catalog
+// (aggregated across its nodes) at /metrics and, with -pprof, the
+// net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"finelb/internal/cluster"
+	"finelb/internal/obs"
 )
 
 func main() {
@@ -29,6 +36,8 @@ func main() {
 	spin := flag.Bool("spin", false, "burn CPU for service time instead of sleeping")
 	slowProb := flag.Float64("slowprob", cluster.DefaultSlowProb, "busy-node slow-answer probability (negative disables)")
 	dirAddr := flag.String("dir", "", "lbdir address to publish soft state to (optional)")
+	httpAddr := flag.String("http", "", "serve /metrics (JSON obs snapshot) on this address; empty disables")
+	pprofOn := flag.Bool("pprof", false, "with -http, also expose /debug/pprof/ handlers")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -48,6 +57,24 @@ func main() {
 		defer remote.Close()
 	}
 
+	// All nodes in this process share one registry, so /metrics shows
+	// the process-wide view (per-node detail stays on Node.Stats).
+	reg := obs.NewRegistry()
+	rm := obs.NewRunMetrics(reg)
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbnode:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go http.Serve(ln, obs.NewMux(reg, nil, *pprofOn))
+		fmt.Fprintf(os.Stderr, "lbnode: metrics at http://%s/metrics\n", ln.Addr())
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "lbnode: -pprof requires -http")
+		os.Exit(2)
+	}
+
 	nodes := make([]*cluster.Node, 0, *n)
 	for i := 0; i < *n; i++ {
 		node, err := cluster.StartNode(cluster.NodeConfig{
@@ -57,6 +84,7 @@ func main() {
 			Spin:      *spin,
 			SlowProb:  *slowProb,
 			RemoteDir: remote,
+			Metrics:   rm,
 			Seed:      *seed + uint64(i)*7919,
 		})
 		if err != nil {

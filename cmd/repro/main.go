@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list
+//	repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list
 //
 // Examples:
 //
@@ -14,6 +14,7 @@
 //	repro -format=json -out results.json figure4 figure6
 //	repro -transport=mem figure6      # prototype experiments without sockets
 //	repro -bench bench -quick all     # also drop BENCH_<id>.json records
+//	repro -quick -metrics metrics.json figure6   # dump per-cell obs snapshots
 //	repro all                         # full-fidelity run (several minutes)
 package main
 
@@ -44,8 +45,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csv := fs.Bool("csv", false, "emit CSV (deprecated; same as -format=csv)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	benchDir := fs.String("bench", "", "also write one BENCH_<id>.json record per experiment into this directory")
+	metricsOut := fs.String("metrics", "", "write every cell's obs metrics snapshot to this file as a JSON array")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] <experiment>... | all | list\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			desc, _ := experiments.Describe(id)
 			fmt.Fprintf(stderr, "  %-14s %s\n", id, desc)
@@ -104,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opts.Progress = stderr
 	}
+	if *metricsOut != "" {
+		opts.Metrics = &experiments.MetricsLog{}
+	}
 	var tables []*experiments.Table
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, err)
@@ -150,6 +155,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *format == "json" {
 		if err := experiments.WriteTablesJSON(dst, tables); err != nil {
+			return fail(err)
+		}
+	}
+	if opts.Metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := opts.Metrics.WriteJSON(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
 			return fail(err)
 		}
 	}

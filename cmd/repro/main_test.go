@@ -173,6 +173,40 @@ func TestBenchFlagWritesRecord(t *testing.T) {
 	}
 }
 
+// TestMetricsFlagWritesSnapshots checks -metrics: a sweep run must
+// leave a JSON array with one labeled obs snapshot per cell.
+func TestMetricsFlagWritesSnapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	_, errOut, code := repro(t, "-quick", "-metrics", path, "figure4")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []experiments.MetricsRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		t.Fatalf("metrics file is not a record array: %v\n%s", err, buf)
+	}
+	// Quick figure4: 3 workloads x 2 loads x 6 policies.
+	if len(recs) != 36 {
+		t.Fatalf("%d records, want 36", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "figure4" || rec.Substrate != "sim" || rec.Cell == "" {
+			t.Fatalf("record labels wrong: %+v", rec)
+		}
+		if rec.Metrics == nil || len(rec.Metrics.Metrics) == 0 {
+			t.Fatalf("record %q has no snapshot", rec.Cell)
+		}
+	}
+	// Every cell ran accesses, so dispatch counters must be live.
+	if v := recs[0].Metrics.Value("lb_dispatches_total"); v <= 0 {
+		t.Errorf("lb_dispatches_total = %d in first record", v)
+	}
+}
+
 // TestFigure4JSON is the acceptance check: the headline simulation
 // sweep must produce valid machine-readable JSON.
 func TestFigure4JSON(t *testing.T) {

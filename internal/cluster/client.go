@@ -8,6 +8,7 @@ import (
 
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/obs"
 	"finelb/internal/stats"
 	"finelb/internal/transport"
 )
@@ -87,6 +88,12 @@ type ClientConfig struct {
 	// (transport.WithFaults). Node events are replayed by the driver,
 	// not here.
 	Faults *faults.Schedule
+
+	// Metrics is the run's shared obs.RunMetrics catalog (poll
+	// counters, RTT histogram, retries, quarantines). Nil gets a
+	// private catalog so the hot paths stay branch-free; pass the run's
+	// to aggregate across clients (RunExperiment does).
+	Metrics *obs.RunMetrics
 
 	Seed uint64
 }
@@ -186,6 +193,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.QuarantineFor == 0 {
 		cfg.QuarantineFor = faults.DefaultQuarantineFor
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRunMetrics(nil)
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -288,7 +298,7 @@ func (c *Client) agent(ep Endpoint) (*pollAgent, error) {
 	if a, ok := c.agents[ep.LoadAddr]; ok {
 		return a, nil
 	}
-	a, err := newPollAgent(c.tr, ep.LoadAddr, transport.Link{Client: c.cfg.ID, Server: ep.NodeID})
+	a, err := newPollAgent(c.tr, ep.LoadAddr, transport.Link{Client: c.cfg.ID, Server: ep.NodeID}, c.cfg.Metrics.PollLate)
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +394,7 @@ func (c *Client) noteSilent(nodeID int) {
 	if h.strikes >= c.cfg.QuarantineAfter {
 		h.until = time.Now().Add(c.cfg.QuarantineFor)
 		h.strikes = 0
+		c.cfg.Metrics.Quarantines.Inc()
 	}
 	c.mu.Unlock()
 }
@@ -402,6 +413,7 @@ func (c *Client) noteAccessFailure(nodeID int) {
 	}
 	h.strikes = 0
 	h.until = time.Now().Add(c.cfg.QuarantineFor)
+	c.cfg.Metrics.Quarantines.Inc()
 	c.mu.Unlock()
 }
 
@@ -439,6 +451,7 @@ func (c *Client) Access(serviceUs uint32, payload []byte) (*AccessInfo, error) {
 				return nil, fmt.Errorf("cluster: client closed during retry (last error: %v)", lastErr)
 			}
 			info.Retries++
+			c.cfg.Metrics.Retries.Inc()
 			// The table may have moved on (soft-state expiry of the dead
 			// server); don't wait for the periodic refresh.
 			c.Refresh()
@@ -533,6 +546,7 @@ func (c *Client) accessOnce(serviceUs uint32, payload []byte, info *AccessInfo) 
 		ServiceUs: serviceUs,
 		Payload:   payload,
 	}
+	c.cfg.Metrics.Dispatches.Inc()
 	resp, tripErr := c.pool(target.AccessAddr).roundTrip(req, c.cfg.AccessTimeout)
 	var err error = tripErr
 	if release {
@@ -579,6 +593,7 @@ func (c *Client) pollAndPick(eps, live []Endpoint, info *AccessInfo) (Endpoint, 
 			break
 		}
 		info.Retries++
+		c.cfg.Metrics.Retries.Inc()
 		if !c.backoff(round) {
 			return Endpoint{}, fmt.Errorf("cluster: client closed during poll")
 		}
@@ -651,6 +666,7 @@ func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok boo
 		sent++
 	}
 	info.Polled += sent
+	c.cfg.Metrics.PollRequests.Add(int64(sent))
 
 	deadline := c.cfg.PollTimeout
 	if da := c.cfg.Policy.DiscardAfter; da > 0 && da < deadline {
@@ -670,6 +686,7 @@ collect:
 			responses = append(responses, core.PollResponse{Server: ans.epIdx, Load: ans.load})
 			answered[ans.epIdx] = true
 			info.PollRTTs = append(info.PollRTTs, ans.rtt)
+			c.cfg.Metrics.PollRTTSeconds.Observe(ans.rtt.Seconds())
 		case <-timer.C:
 			break collect
 		case <-c.done:
@@ -683,6 +700,8 @@ collect:
 	info.Answered += len(responses)
 	info.Discarded += sent - len(responses)
 	info.PollTime += time.Since(start)
+	c.cfg.Metrics.PollResponses.Add(int64(len(responses)))
+	c.cfg.Metrics.PollDiscards.Add(int64(sent - len(responses)))
 
 	// Failure detection: an answer is proof of life; silence is a
 	// strike, and consecutive strikes quarantine.

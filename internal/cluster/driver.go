@@ -8,6 +8,7 @@ import (
 
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/obs"
 	"finelb/internal/stats"
 	"finelb/internal/transport"
 	"finelb/internal/workload"
@@ -65,6 +66,16 @@ type ExperimentConfig struct {
 	// because quarantine expiry is wall-clock driven.
 	QuarantineAfter int
 
+	// Metrics, when non-nil, is the registry the run records the shared
+	// obs.RunMetrics catalog into; nil records into a private registry.
+	// Either way ExperimentResult.Metrics carries the end-of-run
+	// snapshot, aggregated across every node and client of the run.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured access-lifecycle events
+	// from the driver (access.complete, access.overload, access.lost)
+	// and server fault injections. See obs.Event for the schema.
+	Trace *obs.Trace
+
 	ServiceName string // default "translate"
 	Seed        uint64
 }
@@ -103,6 +114,10 @@ type ExperimentResult struct {
 	PerServer []int64 // accesses served by each node (by index)
 	NodeStats []NodeStats
 	WallTime  time.Duration
+
+	// Metrics is the end-of-run snapshot of the obs.RunMetrics catalog,
+	// taken after the last access settles and before teardown.
+	Metrics *obs.Snapshot
 }
 
 // MeanResponse returns the run's mean response time in seconds.
@@ -125,6 +140,12 @@ type Cluster struct {
 	Nodes   []*Node
 	Clients []*Client
 	Manager *IdealManager
+
+	// Registry is the run's metrics registry (the caller's
+	// ExperimentConfig.Metrics, or a private one) and Metrics the shared
+	// catalog every node and client of this cluster records into.
+	Registry *obs.Registry
+	Metrics  *obs.RunMetrics
 }
 
 // StartCluster boots servers and clients per cfg and waits until every
@@ -134,7 +155,15 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Dir: NewDirectory(cfg.DirTTL)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cl := &Cluster{
+		Dir:      NewDirectory(cfg.DirTTL),
+		Registry: reg,
+		Metrics:  obs.NewRunMetrics(reg),
+	}
 	fail := func(err error) (*Cluster, error) {
 		cl.Close()
 		return nil, err
@@ -172,6 +201,7 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 			SlowProb:        cfg.SlowProb,
 			SlowDist:        slowDist,
 			DropProb:        cfg.DropProb,
+			Metrics:         cl.Metrics,
 			Seed:            cfg.Seed + uint64(i)*7919,
 		})
 		if err != nil {
@@ -194,6 +224,7 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 			ManagerAddr:     mgrAddr,
 			Faults:          cfg.Faults,
 			QuarantineAfter: cfg.QuarantineAfter,
+			Metrics:         cl.Metrics,
 			Seed:            cfg.Seed + 104729 + uint64(i)*31,
 		}
 		if cfg.DirTTL > 0 {
@@ -299,6 +330,14 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	var wg sync.WaitGroup
 	start := time.Now().Add(20 * time.Millisecond) // settle time before first arrival
 
+	// emit records one driver-level trace event on the run clock
+	// (seconds since the first scheduled arrival).
+	emit := func(name, actor string, a, b int64) {
+		if cfg.Trace != nil {
+			cfg.Trace.Emit(time.Since(start).Seconds(), name, actor, a, b)
+		}
+	}
+
 	if cfg.Faults != nil {
 		player := cfg.Faults.PlayAt(start, cfg.TimeScale, func(ev faults.NodeEvent) {
 			if ev.Node >= len(cl.Nodes) {
@@ -307,10 +346,13 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			switch n := cl.Nodes[ev.Node]; ev.Kind {
 			case faults.Crash:
 				n.Close()
+				emit("server.crash", fmt.Sprintf("server:%d", ev.Node), 0, 0)
 			case faults.Pause:
 				n.Pause()
+				emit("server.pause", fmt.Sprintf("server:%d", ev.Node), 0, 0)
 			case faults.Resume:
 				n.Resume()
+				emit("server.resume", fmt.Sprintf("server:%d", ev.Node), 0, 0)
 			}
 		})
 		defer player.Stop()
@@ -330,11 +372,19 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			defer mu.Unlock()
 			if err != nil {
 				res.Errors++
+				cl.Metrics.Lost.Inc()
+				emit("access.lost", "driver", int64(i), 0)
 				return
 			}
 			if info.Resp.Status == StatusOverload {
 				res.Overloads++
+				emit("access.overload", "driver", int64(i), int64(info.Server))
 				return
+			}
+			cl.Metrics.Completions.Inc()
+			cl.Metrics.ResponseSeconds.Observe(elapsed.Seconds())
+			if cfg.Policy.Kind == core.Poll {
+				cl.Metrics.PollWaitSeconds.Observe(info.PollTime.Seconds())
 			}
 			res.PerServer[info.Server]++
 			res.Polled += int64(info.Polled)
@@ -361,5 +411,8 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, n := range cl.Nodes {
 		res.NodeStats = append(res.NodeStats, n.Stats())
 	}
+	// Snapshot after the last access settles and before teardown, so
+	// cross-metric invariants (gauges back at zero on clean runs) hold.
+	res.Metrics = cl.Registry.Snapshot()
 	return res, nil
 }

@@ -21,9 +21,11 @@ import (
 type IdealManager struct {
 	ln transport.Listener
 
-	mu     sync.Mutex
-	counts []int64
-	rng    *stats.RNG
+	mu       sync.Mutex
+	counts   []int64
+	rng      *stats.RNG
+	acquires int64
+	releases int64
 
 	wg     sync.WaitGroup
 	done   chan struct{}
@@ -73,6 +75,20 @@ func (m *IdealManager) Counts() []int64 {
 	out := make([]int64, len(m.counts))
 	copy(out, m.counts)
 	return out
+}
+
+// ManagerStats are the manager's protocol counters.
+type ManagerStats struct {
+	Acquires int64 // server assignments handed out
+	Releases int64 // completions reported back
+}
+
+// Stats snapshots the manager's protocol counters (lbmanager's /metrics
+// endpoint republishes them).
+func (m *IdealManager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManagerStats{Acquires: m.acquires, Releases: m.releases}
 }
 
 // Close stops the manager and waits for its goroutines.
@@ -140,6 +156,7 @@ func (m *IdealManager) acquire() uint32 {
 		}
 	}
 	m.counts[best]++
+	m.acquires++
 	return uint32(best)
 }
 
@@ -153,6 +170,7 @@ func (m *IdealManager) release(idx uint32) bool {
 	if m.counts[idx] > 0 {
 		m.counts[idx]--
 	}
+	m.releases++
 	return true
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"finelb/internal/obs"
 	"finelb/internal/stats"
 	"finelb/internal/transport"
 )
@@ -63,6 +64,12 @@ type NodeConfig struct {
 	// clusters).
 	DropProb float64
 
+	// Metrics is the run's shared obs.RunMetrics catalog (queue depth,
+	// worker occupancy, inquiry counters). Nil gets a private catalog so
+	// the hot paths stay branch-free; pass the run's to aggregate
+	// across nodes (RunExperiment does).
+	Metrics *obs.RunMetrics
+
 	Seed uint64
 }
 
@@ -111,6 +118,10 @@ type Node struct {
 	wg    sync.WaitGroup
 	done  chan struct{}
 	once  sync.Once
+	// gaugeDrain settles the shared gauges once after shutdown: accesses
+	// still queued when a node dies take their load-index contribution
+	// with them.
+	gaugeDrain sync.Once
 
 	// Pause support (fault injection): while paused the node accepts and
 	// queues requests but serves nothing, answers no load inquiries, and
@@ -178,6 +189,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.PublishInterval == 0 {
 		cfg.PublishInterval = DefaultTTL / 4
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRunMetrics(nil)
 	}
 
 	ln, err := cfg.Transport.Listen()
@@ -324,6 +338,9 @@ func (n *Node) Close() error {
 		n.connMu.Unlock()
 	})
 	n.wg.Wait()
+	n.gaugeDrain.Do(func() {
+		n.cfg.Metrics.ServerActive.Add(-n.active.Load())
+	})
 	return nil
 }
 
@@ -406,11 +423,14 @@ func (n *Node) serveConn(c net.Conn) {
 		// The access becomes active the moment it is accepted; this is
 		// the quantity the load-index server reports.
 		n.active.Add(1)
+		n.cfg.Metrics.ServerActive.Add(1)
 		select {
 		case n.queue <- nodeTask{req: req, conn: nc}:
 		default:
 			n.active.Add(-1)
+			n.cfg.Metrics.ServerActive.Add(-1)
 			n.overloads.Add(1)
+			n.cfg.Metrics.ServerOverloads.Inc()
 			_ = nc.writeResponse(&Response{ID: req.ID, Status: StatusOverload})
 		}
 	}
@@ -427,6 +447,7 @@ func (n *Node) worker() {
 			if !n.pauseGate() {
 				return
 			}
+			n.cfg.Metrics.WorkersBusy.Add(1)
 			payload := task.req.Payload // echo, like the paper's translation services
 			status := uint8(StatusOK)
 			if n.cfg.Handler != nil {
@@ -442,6 +463,9 @@ func (n *Node) worker() {
 			load := uint32(n.active.Load())
 			n.active.Add(-1)
 			n.served.Add(1)
+			n.cfg.Metrics.ServerActive.Add(-1)
+			n.cfg.Metrics.ServerServed.Inc()
+			n.cfg.Metrics.WorkersBusy.Add(-1)
 			_ = task.conn.writeResponse(&Response{
 				ID:      task.req.ID,
 				Status:  status,
@@ -531,16 +555,20 @@ func (n *Node) loadIndexLoop() {
 			// A stalled process answers nothing; the client's discard
 			// deadline (and quarantine) handles the silence.
 			n.dropped.Add(1)
+			n.cfg.Metrics.InquiriesDropped.Inc()
 			continue
 		}
 		if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
 			n.dropped.Add(1)
+			n.cfg.Metrics.InquiriesDropped.Inc()
 			continue
 		}
 		n.inquiries.Add(1)
+		n.cfg.Metrics.InquiriesServed.Inc()
 		if n.active.Load() > 0 && n.cfg.SlowProb > 0 && rng.Float64() < n.cfg.SlowProb {
 			// Slow path: scheduling interference on a busy node.
 			n.slowPaths.Add(1)
+			n.cfg.Metrics.SlowAnswers.Inc()
 			delay := time.Duration(n.cfg.SlowDist.Sample(rng) * float64(time.Second))
 			seqCopy, fromCopy := seq, from
 			time.AfterFunc(delay, func() {

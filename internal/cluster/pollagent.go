@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"finelb/internal/obs"
 	"finelb/internal/transport"
 )
 
@@ -18,13 +19,14 @@ import (
 type pollAgent struct {
 	conn transport.PacketConn
 
-	mu      sync.Mutex
-	pending map[uint32]func(load int)
-	closed  bool
-	late    int64 // answers that arrived after their inquiry was cancelled
+	mu       sync.Mutex
+	pending  map[uint32]func(load int)
+	closed   bool
+	late     int64        // answers that arrived after their inquiry was cancelled
+	lateCtr  *obs.Counter // run-level poll_late_total (may be nil in unit tests)
 }
 
-func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link) (*pollAgent, error) {
+func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link, late *obs.Counter) (*pollAgent, error) {
 	conn, err := tr.DialPacket(loadAddr, link)
 	if err != nil {
 		return nil, err
@@ -32,6 +34,7 @@ func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link) 
 	a := &pollAgent{
 		conn:    conn,
 		pending: make(map[uint32]func(load int)),
+		lateCtr: late,
 	}
 	go a.readLoop()
 	return a, nil
@@ -63,6 +66,9 @@ func (a *pollAgent) readLoop() {
 			// The inquiry was cancelled at its deadline before this
 			// answer arrived: a discarded slow poll (§3.2).
 			a.late++
+			if a.lateCtr != nil {
+				a.lateCtr.Inc()
+			}
 		}
 		delete(a.pending, seq)
 		a.mu.Unlock()

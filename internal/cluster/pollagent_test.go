@@ -31,7 +31,7 @@ func deafCluster(t *testing.T, n int) *Directory {
 
 func TestPollAgentCancelDropsLateAnswer(t *testing.T) {
 	_, nodes := testCluster(t, 1, false)
-	a, err := newPollAgent(nodes[0].Transport(), nodes[0].LoadAddr(), transport.NoLink)
+	a, err := newPollAgent(nodes[0].Transport(), nodes[0].LoadAddr(), transport.NoLink, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestPollAgentCountsLateAnswers(t *testing.T) {
 	}
 	waitUntil(t, func() bool { return n.LoadIndex() == 1 }, "the node to become busy")
 
-	a, err := newPollAgent(n.Transport(), n.LoadAddr(), transport.NoLink)
+	a, err := newPollAgent(n.Transport(), n.LoadAddr(), transport.NoLink, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,13 +305,7 @@ func TestNodePauseResume(t *testing.T) {
 		t.Fatal("Paused() false after Pause")
 	}
 	// Heartbeats stop: the soft-state entry must expire at the TTL.
-	deadline := time.Now().Add(2 * time.Second)
-	for dir.Len() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("paused node's directory entry never expired")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitUntil(t, func() bool { return dir.Len() == 0 }, "paused node's directory entry to expire")
 
 	// An access accepted while paused stays queued, not lost.
 	type result struct {

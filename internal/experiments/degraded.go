@@ -79,6 +79,8 @@ func Degraded(o Options) (*Table, error) {
 				return nil, err
 			}
 			hm, dm := healthy.MeanResponse*1e3, degraded.MeanResponse*1e3
+			o.record("degraded", p.String()+" healthy", m.sub.Name(), healthy.Metrics)
+			o.record("degraded", p.String()+" degraded", m.sub.Name(), degraded.Metrics)
 			t.AddRow(m.sub.Name(), p.String(), hm, dm, dm/hm, degraded.Lost, degraded.Retries)
 			o.progress("degraded: %s %s done (%.4g -> %.4g ms)", m.sub.Name(), p, hm, dm)
 		}

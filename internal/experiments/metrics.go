@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"finelb/internal/obs"
+)
+
+// MetricsRecord labels one end-of-run metrics snapshot with the
+// experiment cell that produced it, so `repro -metrics FILE` can dump
+// the full obs catalog for every cell of a run next to the table it
+// rendered.
+type MetricsRecord struct {
+	Experiment string        `json:"experiment"`
+	Cell       string        `json:"cell"`
+	Substrate  string        `json:"substrate"`
+	Metrics    *obs.Snapshot `json:"metrics"`
+}
+
+// MetricsLog is an optional sink for per-cell metrics snapshots,
+// attached via Options.Metrics. It is safe for concurrent use; records
+// are kept in completion order.
+type MetricsLog struct {
+	mu   sync.Mutex
+	recs []MetricsRecord
+}
+
+func (l *MetricsLog) add(rec MetricsRecord) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
+
+// Len reports how many records have been collected.
+func (l *MetricsLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Records returns a copy of the collected records.
+func (l *MetricsLog) Records() []MetricsRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]MetricsRecord, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// WriteJSON emits the collected records as one indented JSON array
+// (always an array, even when empty).
+func (l *MetricsLog) WriteJSON(w io.Writer) error {
+	recs := l.Records()
+	if recs == nil {
+		recs = []MetricsRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// record logs one run's snapshot into o.Metrics. A nil sink or a nil
+// snapshot (a substrate predating the obs catalog) is a no-op, so
+// drivers call this unconditionally after every substrate run.
+func (o Options) record(experiment, cell, substrate string, snap *obs.Snapshot) {
+	if o.Metrics == nil || snap == nil {
+		return
+	}
+	o.Metrics.add(MetricsRecord{
+		Experiment: experiment,
+		Cell:       cell,
+		Substrate:  substrate,
+		Metrics:    snap,
+	})
+}

@@ -43,6 +43,8 @@ func pollSizeSweep(o Options, sub substrate.Substrate, id, title string,
 				}
 				v := res.MeanResponse * 1e3
 				row = append(row, v)
+				o.record(id, fmt.Sprintf("%s busy=%.0f%% %s", w.Name, rho*100, p),
+					sub.Name(), res.Metrics)
 				o.progress("%s: %s busy=%.0f%% %s done (%.4g ms)", id, w.Name, rho*100, p, v)
 			}
 			t.AddRow(row...)

@@ -142,6 +142,9 @@ type Options struct {
 	Transport string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// Metrics, when non-nil, collects one obs snapshot per substrate
+	// run, labeled by experiment and cell (cmd/repro -metrics).
+	Metrics *MetricsLog
 }
 
 func (o Options) progress(format string, args ...any) {

@@ -1,0 +1,325 @@
+// Package obs is the repository's internal observability layer: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// fixed-bucket histograms) plus an optional structured event trace
+// (obs.Trace). Both execution substrates — the discrete-event simulator
+// and the socket/in-memory prototype — record the same metric catalog
+// (RunMetrics) through it, so anything inside a run (queue-length
+// peaks, poll round trips, discard decisions, quarantines) can be
+// asserted and regression-tested, not just end-of-run aggregates.
+//
+// Hot-path operations (Counter.Add, Gauge.Add, Histogram.Observe) are
+// lock-free atomics with zero allocation; registration happens once at
+// run setup. A Snapshot freezes every metric into a sorted,
+// JSON-marshalable form with two digests: Digest covers everything,
+// DeterministicDigest covers only the values that are a pure function
+// of the run's seed and spec (counters, gauge end values) so identical
+// seeded runs can be compared bit for bit even though wall-clock-valued
+// metrics (latency histograms, gauge high-waters) differ run to run.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric types in snapshots.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically non-decreasing count. Add saturates at
+// math.MaxInt64 instead of wrapping: a counter that has been running
+// for years must never appear to jump negative, and saturation makes
+// merge (sum) semantics total.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by delta (negative deltas are ignored —
+// counters only go up). On overflow the counter saturates at
+// math.MaxInt64.
+func (c *Counter) Add(delta int64) {
+	if delta <= 0 {
+		return
+	}
+	for {
+		old := c.v.Load()
+		next := old + delta
+		if next < old { // overflow past MaxInt64
+			next = math.MaxInt64
+		}
+		if c.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Merge folds another counter's value into this one (saturating sum):
+// the semantics of combining per-shard counters into one total.
+func (c *Counter) Merge(other *Counter) { c.Add(other.Value()) }
+
+// Gauge is an instantaneous level (queue depth, busy workers) that also
+// tracks its high-water mark, because a peak is often the interesting
+// part of a level and sampling cannot catch it.
+type Gauge struct {
+	v    atomic.Int64
+	high atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.raiseHigh(v)
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	v := g.v.Add(delta)
+	g.raiseHigh(v)
+}
+
+func (g *Gauge) raiseHigh(v int64) {
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// High returns the high-water mark (the largest value the gauge has
+// held; 0 for a gauge that never rose above zero).
+func (g *Gauge) High() int64 { return g.high.Load() }
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket at the end, plus a running sum and count. Bounds are
+// fixed at registration so two histograms with the same bounds merge
+// bucket by bucket.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LatencyBuckets is the default bucket layout for second-valued
+// latency histograms: 100 µs to 10 s in a 1-2.5-5 progression, wide
+// enough for both the simulator's sub-millisecond polls and degraded
+// prototype runs waiting out retry backoffs.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing at %d (%v <= %v)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	// Binary search for the first bound >= x; small bound sets make this
+	// a handful of comparisons, no allocation.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCount returns the count in bucket i, where i == len(bounds)
+// addresses the +Inf bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Merge folds another histogram with identical bounds into this one.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if b != other.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bound %d: %v vs %v", i, b, other.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i].Add(other.counts[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + other.Sum())
+		if h.sum.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// metric is one registered metric with its metadata.
+type metric struct {
+	name   string
+	kind   Kind
+	timing bool
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Opt tags a metric at registration.
+type Opt func(*metric)
+
+// Timing marks a metric whose values depend on wall-clock scheduling
+// (latency histograms, anything driven by real timers). Timing metrics
+// are excluded from Snapshot.DeterministicDigest, which covers only
+// values that are a pure function of a run's seed and spec.
+func Timing() Opt { return func(m *metric) { m.timing = true } }
+
+// Registry holds named metrics. Registration is idempotent: asking for
+// an existing name returns the existing metric, so every component of a
+// run can resolve the shared catalog independently. A name registered
+// as two different kinds panics — that is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu sync.Mutex
+	by map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name string, kind Kind) (*metric, bool) {
+	m, ok := r.by[name]
+	if !ok {
+		return nil, false
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, m.kind, kind))
+	}
+	return m, true
+}
+
+// Counter registers (or returns) the counter with this name.
+func (r *Registry) Counter(name string, opts ...Opt) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindCounter); ok {
+		return m.c
+	}
+	m := &metric{name: name, kind: KindCounter, c: &Counter{}}
+	for _, o := range opts {
+		o(m)
+	}
+	r.by[name] = m
+	return m.c
+}
+
+// Gauge registers (or returns) the gauge with this name.
+func (r *Registry) Gauge(name string, opts ...Opt) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindGauge); ok {
+		return m.g
+	}
+	m := &metric{name: name, kind: KindGauge, g: &Gauge{}}
+	for _, o := range opts {
+		o(m)
+	}
+	r.by[name] = m
+	return m.g
+}
+
+// Histogram registers (or returns) the histogram with this name. The
+// bounds of an existing histogram must match; a mismatch panics, since
+// silently merging differently-bucketed histograms would corrupt data.
+func (r *Registry) Histogram(name string, bounds []float64, opts ...Opt) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindHistogram); ok {
+		if len(m.h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, has %d",
+				name, len(bounds), len(m.h.bounds)))
+		}
+		for i, b := range bounds {
+			if m.h.bounds[i] != b {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different bound %d", name, i))
+			}
+		}
+		return m.h
+	}
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(err.Error())
+	}
+	m := &metric{name: name, kind: KindHistogram, h: h}
+	for _, o := range opts {
+		o(m)
+	}
+	r.by[name] = m
+	return m.h
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.by))
+	for n := range r.by {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

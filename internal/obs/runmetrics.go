@@ -1,0 +1,102 @@
+package obs
+
+// RunMetrics is the shared metric catalog of one load-balancing run.
+// Both execution substrates — the discrete-event simulator
+// (internal/simcluster) and the prototype (internal/cluster) — resolve
+// this exact name set against their run's registry and update it at the
+// equivalent protocol points, which is what makes simulator and
+// prototype metric snapshots directly comparable (and lets one test
+// assert the name sets are identical). The catalog is documented in
+// DESIGN.md §7.
+//
+// Counters tagged Timing, every histogram, and gauge high-water marks
+// carry wall-clock-dependent values; everything else is a pure function
+// of the run's seed and spec on deterministic substrates (the simulator
+// always; the prototype on the in-memory transport under scenarios that
+// pin every message's fate).
+type RunMetrics struct {
+	// Access lifecycle.
+	Dispatches  *Counter // service requests sent (including re-dispatch attempts)
+	Completions *Counter // accesses completed successfully
+	Lost        *Counter // accesses that never produced a response despite retries
+	Retries     *Counter // poll re-rounds plus access re-attempts
+
+	// Random-polling protocol.
+	PollRequests  *Counter // client → server load inquiries sent
+	PollResponses *Counter // answers used by a decision
+	PollDiscards  *Counter // inquiries abandoned at the discard deadline
+	PollLate      *Counter // discarded inquiries whose answer arrived late (§3.2)
+	Quarantines   *Counter // servers quarantined by a client failure detector
+
+	// Server side.
+	ServerActive     *Gauge   // queued + in-service accesses across all servers
+	WorkersBusy      *Gauge   // busy processing units across all servers
+	ServerServed     *Counter // requests completed by servers
+	ServerOverloads  *Counter // requests refused at a full queue (prototype only)
+	InquiriesServed  *Counter // load inquiries answered by servers
+	InquiriesDropped *Counter // inquiries dropped (pause, injection, lossy link)
+	SlowAnswers      *Counter // inquiries answered through the contention-model slow path
+
+	// Latency shapes (wall clock on the prototype, simulated seconds on
+	// the simulator).
+	ResponseSeconds *Histogram // per-access response time
+	PollWaitSeconds *Histogram // per-access time spent acquiring load information
+	PollRTTSeconds  *Histogram // individual inquiry round trips
+}
+
+// Run metric names (the catalog).
+const (
+	MetricDispatches       = "lb_dispatches_total"
+	MetricCompletions      = "lb_completions_total"
+	MetricLost             = "lb_lost_total"
+	MetricRetries          = "lb_retries_total"
+	MetricPollRequests     = "poll_requests_total"
+	MetricPollResponses    = "poll_responses_total"
+	MetricPollDiscards     = "poll_discards_total"
+	MetricPollLate         = "poll_late_total"
+	MetricQuarantines      = "quarantines_total"
+	MetricServerActive     = "server_active"
+	MetricWorkersBusy      = "server_workers_busy"
+	MetricServerServed     = "server_served_total"
+	MetricServerOverloads  = "server_overloads_total"
+	MetricInquiriesServed  = "server_inquiries_total"
+	MetricInquiriesDropped = "server_inquiries_dropped_total"
+	MetricSlowAnswers      = "server_slow_answers_total"
+	MetricResponseSeconds  = "response_seconds"
+	MetricPollWaitSeconds  = "poll_wait_seconds"
+	MetricPollRTTSeconds   = "poll_rtt_seconds"
+)
+
+// NewRunMetrics resolves the full catalog against reg (registering
+// anything missing). A nil registry gets a fresh private one, so
+// callers can instrument unconditionally and export only when asked.
+func NewRunMetrics(reg *Registry) *RunMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	lat := LatencyBuckets()
+	return &RunMetrics{
+		Dispatches:  reg.Counter(MetricDispatches),
+		Completions: reg.Counter(MetricCompletions),
+		Lost:        reg.Counter(MetricLost),
+		Retries:     reg.Counter(MetricRetries),
+
+		PollRequests:  reg.Counter(MetricPollRequests),
+		PollResponses: reg.Counter(MetricPollResponses),
+		PollDiscards:  reg.Counter(MetricPollDiscards),
+		PollLate:      reg.Counter(MetricPollLate),
+		Quarantines:   reg.Counter(MetricQuarantines),
+
+		ServerActive:     reg.Gauge(MetricServerActive),
+		WorkersBusy:      reg.Gauge(MetricWorkersBusy),
+		ServerServed:     reg.Counter(MetricServerServed),
+		ServerOverloads:  reg.Counter(MetricServerOverloads),
+		InquiriesServed:  reg.Counter(MetricInquiriesServed),
+		InquiriesDropped: reg.Counter(MetricInquiriesDropped),
+		SlowAnswers:      reg.Counter(MetricSlowAnswers),
+
+		ResponseSeconds: reg.Histogram(MetricResponseSeconds, lat, Timing()),
+		PollWaitSeconds: reg.Histogram(MetricPollWaitSeconds, lat, Timing()),
+		PollRTTSeconds:  reg.Histogram(MetricPollRTTSeconds, lat, Timing()),
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations at or below the upper bound Le (+Inf encoded as
+// omitted Le with Inf true).
+type Bucket struct {
+	Le  float64 `json:"le,omitempty"`
+	Inf bool    `json:"inf,omitempty"`
+	N   int64   `json:"n"`
+}
+
+// MetricValue is one metric frozen at snapshot time.
+type MetricValue struct {
+	Name   string `json:"name"`
+	Kind   Kind   `json:"kind"`
+	Timing bool   `json:"timing,omitempty"`
+
+	// Value carries a counter's count or a gauge's level.
+	Value int64 `json:"value"`
+	// High is a gauge's high-water mark.
+	High int64 `json:"high,omitempty"`
+
+	// Histogram payload.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+}
+
+// Snapshot is the frozen state of a registry, sorted by metric name.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Snapshot freezes every registered metric. Concurrent updates during
+// the snapshot are individually atomic but not mutually consistent —
+// take snapshots after a run has quiesced when exact cross-metric
+// invariants matter.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, 0, len(r.by))
+	for _, m := range r.by {
+		metrics = append(metrics, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	s := &Snapshot{Metrics: make([]MetricValue, 0, len(metrics))}
+	for _, m := range metrics {
+		mv := MetricValue{Name: m.name, Kind: m.kind, Timing: m.timing}
+		switch m.kind {
+		case KindCounter:
+			mv.Value = m.c.Value()
+		case KindGauge:
+			mv.Value = m.g.Value()
+			mv.High = m.g.High()
+		case KindHistogram:
+			mv.Sum = m.h.Sum()
+			mv.Count = m.h.Count()
+			mv.Buckets = make([]Bucket, len(m.h.counts))
+			for i := range m.h.counts {
+				b := Bucket{N: m.h.counts[i].Load()}
+				if i < len(m.h.bounds) {
+					b.Le = m.h.bounds[i]
+				} else {
+					b.Inf = true
+				}
+				mv.Buckets[i] = b
+			}
+		}
+		s.Metrics = append(s.Metrics, mv)
+	}
+	return s
+}
+
+// Names returns the snapshot's metric names (already sorted).
+func (s *Snapshot) Names() []string {
+	out := make([]string, len(s.Metrics))
+	for i, m := range s.Metrics {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Get returns the metric with this name, if present.
+func (s *Snapshot) Get(name string) (MetricValue, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return MetricValue{}, false
+}
+
+// Value returns the counter/gauge value of the named metric (0 when
+// absent), a convenience for tests.
+func (s *Snapshot) Value(name string) int64 {
+	mv, _ := s.Get(name)
+	return mv.Value
+}
+
+// Digest fingerprints the whole snapshot (every metric, every value):
+// two equal digests mean bit-identical metric state.
+func (s *Snapshot) Digest() string {
+	return s.digest(func(MetricValue) bool { return true }, true)
+}
+
+// DeterministicDigest fingerprints only the values that are a pure
+// function of a run's seed and spec: counters and gauge end values of
+// metrics not tagged Timing. Latency histograms and gauge high-water
+// marks are excluded — both depend on wall-clock scheduling even on
+// the deterministic in-memory transport.
+func (s *Snapshot) DeterministicDigest() string {
+	return s.digest(func(mv MetricValue) bool {
+		return !mv.Timing && mv.Kind != KindHistogram
+	}, false)
+}
+
+// digest hashes a canonical rendering of the selected metrics. The
+// rendering is explicit (name|kind|value lines) rather than JSON so
+// that field-order or encoding changes cannot silently alter digests.
+func (s *Snapshot) digest(include func(MetricValue) bool, withHigh bool) string {
+	var b strings.Builder
+	for _, mv := range s.Metrics {
+		if !include(mv) {
+			continue
+		}
+		switch mv.Kind {
+		case KindHistogram:
+			fmt.Fprintf(&b, "%s|%s|sum=%x|count=%d", mv.Name, mv.Kind, mv.Sum, mv.Count)
+			for _, bk := range mv.Buckets {
+				fmt.Fprintf(&b, "|%x:%d", bk.Le, bk.N)
+			}
+			b.WriteByte('\n')
+		case KindGauge:
+			if withHigh {
+				fmt.Fprintf(&b, "%s|%s|%d|high=%d\n", mv.Name, mv.Kind, mv.Value, mv.High)
+			} else {
+				fmt.Fprintf(&b, "%s|%s|%d\n", mv.Name, mv.Kind, mv.Value)
+			}
+		default:
+			fmt.Fprintf(&b, "%s|%s|%d\n", mv.Name, mv.Kind, mv.Value)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// populate builds a registry exercising all three kinds plus the
+// Timing tag, with values fixed by the arguments so tests can vary
+// deterministic and timing-dependent parts independently.
+func populate(counter, gaugeHigh int64, obsVal float64) *Registry {
+	r := NewRegistry()
+	r.Counter("polls_total").Add(counter)
+	g := r.Gauge("queue_depth")
+	g.Set(gaugeHigh) // peak
+	g.Set(2)         // settle
+	r.Histogram("rtt_seconds", []float64{0.001, 0.01}, Timing()).Observe(obsVal)
+	r.Counter("wall_ticks_total", Timing()).Add(counter * 3)
+	return r
+}
+
+func TestSnapshotShape(t *testing.T) {
+	s := populate(5, 9, 0.002).Snapshot()
+	names := s.Names()
+	want := []string{"polls_total", "queue_depth", "rtt_seconds", "wall_ticks_total"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+
+	if got := s.Value("polls_total"); got != 5 {
+		t.Fatalf("polls_total = %d, want 5", got)
+	}
+	g, ok := s.Get("queue_depth")
+	if !ok || g.Value != 2 || g.High != 9 {
+		t.Fatalf("queue_depth = %+v, want value 2 high 9", g)
+	}
+	h, ok := s.Get("rtt_seconds")
+	if !ok || !h.Timing || h.Count != 1 {
+		t.Fatalf("rtt_seconds = %+v, want timing histogram with count 1", h)
+	}
+	if len(h.Buckets) != 3 || !h.Buckets[2].Inf {
+		t.Fatalf("rtt_seconds buckets = %+v, want 2 bounded + 1 inf", h.Buckets)
+	}
+	if h.Buckets[1].N != 1 {
+		t.Fatalf("0.002 should land in the le=0.01 bucket, got %+v", h.Buckets)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on absent name reported present")
+	}
+}
+
+func TestDigestsDistinguishRuns(t *testing.T) {
+	base := populate(5, 9, 0.002).Snapshot()
+	same := populate(5, 9, 0.002).Snapshot()
+	if base.Digest() != same.Digest() {
+		t.Fatal("identical registries produced different full digests")
+	}
+	if base.DeterministicDigest() != same.DeterministicDigest() {
+		t.Fatal("identical registries produced different deterministic digests")
+	}
+
+	diffCounter := populate(6, 9, 0.002).Snapshot()
+	if base.DeterministicDigest() == diffCounter.DeterministicDigest() {
+		t.Fatal("counter change not reflected in deterministic digest")
+	}
+
+	// Timing-dependent variation (histogram sample, gauge peak, Timing
+	// counter) must change the full digest but not the deterministic one.
+	diffTiming := populate(5, 9, 0.005).Snapshot()
+	if base.Digest() == diffTiming.Digest() {
+		t.Fatal("histogram change not reflected in full digest")
+	}
+	if base.DeterministicDigest() != diffTiming.DeterministicDigest() {
+		t.Fatal("deterministic digest leaked a histogram value")
+	}
+
+	diffPeak := populate(5, 11, 0.002).Snapshot()
+	if base.Digest() == diffPeak.Digest() {
+		t.Fatal("gauge high-water change not reflected in full digest")
+	}
+	if base.DeterministicDigest() != diffPeak.DeterministicDigest() {
+		t.Fatal("deterministic digest leaked a gauge high-water mark")
+	}
+}
+
+func TestTimingCounterExcludedFromDeterministicDigest(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("steady_total").Add(4)
+	b.Counter("steady_total").Add(4)
+	a.Counter("jitter_total", Timing()).Add(1)
+	b.Counter("jitter_total", Timing()).Add(99)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.DeterministicDigest() != sb.DeterministicDigest() {
+		t.Fatal("Timing counter leaked into deterministic digest")
+	}
+	if sa.Digest() == sb.Digest() {
+		t.Fatal("Timing counter ignored by full digest")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	out, err := populate(5, 9, 0.002).Snapshot().WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(back.Metrics) != 4 {
+		t.Fatalf("round-tripped %d metrics, want 4", len(back.Metrics))
+	}
+	if back.Value("polls_total") != 5 {
+		t.Fatalf("polls_total lost in round trip: %d", back.Value("polls_total"))
+	}
+}
+
+func TestRunMetricsCatalog(t *testing.T) {
+	r := NewRegistry()
+	rm := NewRunMetrics(r)
+	if rm == nil || rm.Dispatches == nil || rm.PollRTTSeconds == nil {
+		t.Fatal("catalog left fields unresolved")
+	}
+	// Resolving the catalog twice against one registry must alias, not
+	// duplicate — that is what lets every component instrument freely.
+	rm2 := NewRunMetrics(r)
+	rm.PollRequests.Add(3)
+	if rm2.PollRequests.Value() != 3 {
+		t.Fatal("second catalog resolution did not alias the first")
+	}
+	want := []string{
+		MetricDispatches, MetricCompletions, MetricLost, MetricRetries,
+		MetricPollRequests, MetricPollResponses, MetricPollDiscards,
+		MetricPollLate, MetricQuarantines, MetricServerActive,
+		MetricWorkersBusy, MetricServerServed, MetricServerOverloads,
+		MetricInquiriesServed, MetricInquiriesDropped, MetricSlowAnswers,
+		MetricResponseSeconds, MetricPollWaitSeconds, MetricPollRTTSeconds,
+	}
+	names := r.Names()
+	if len(names) != len(want) {
+		t.Fatalf("catalog registered %d names, want %d: %v", len(names), len(want), names)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range want {
+		if !seen[n] {
+			t.Fatalf("catalog missing %q", n)
+		}
+	}
+
+	// Nil registry: private registry, still fully usable.
+	priv := NewRunMetrics(nil)
+	priv.Completions.Inc()
+	if priv.Completions.Value() != 1 {
+		t.Fatal("catalog on nil registry unusable")
+	}
+}

@@ -24,6 +24,10 @@ type clientFaults struct {
 	quarUntil [][]sim.Time // per client, per server
 	strikes   [][]int
 	quarFor   sim.Duration
+
+	// onQuarantine, when set, observes every quarantine decision
+	// (metrics/trace hook; it must not mutate fault state).
+	onQuarantine func(client, srv int)
 }
 
 func newClientFaults(eng *sim.Engine, sched *faults.Schedule, clients, servers int) *clientFaults {
@@ -46,6 +50,9 @@ func newClientFaults(eng *sim.Engine, sched *faults.Schedule, clients, servers i
 func (f *clientFaults) quarantine(client, srv int) {
 	f.strikes[client][srv] = 0
 	f.quarUntil[client][srv] = f.eng.Now().Add(f.quarFor)
+	if f.onQuarantine != nil {
+		f.onQuarantine(client, srv)
+	}
 }
 
 // noteSilent records one unanswered inquiry; enough consecutive

@@ -12,9 +12,11 @@ package simcluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/obs"
 	"finelb/internal/sim"
 	"finelb/internal/stats"
 	"finelb/internal/workload"
@@ -82,6 +84,17 @@ type Config struct {
 	// RecordQueueSeries retains each server's queue-length time series
 	// (Figure 2 needs it; it costs memory on long runs).
 	RecordQueueSeries bool
+
+	// Metrics, when non-nil, is the registry the run records the shared
+	// obs.RunMetrics catalog into; nil records into a private registry.
+	// Either way Result.Metrics carries the end-of-run snapshot.
+	// Instrumentation schedules no events and draws no randomness, so it
+	// cannot perturb a run (the golden-seed harness pins this).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured protocol events
+	// (dispatches, discards, quarantines, server faults) on the
+	// simulated clock. See obs.Event for the schema.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -190,6 +203,10 @@ type Result struct {
 	// Retries counts poll re-rounds plus access re-dispatches after
 	// failures (always zero without Faults).
 	Retries int64
+
+	// Metrics is the end-of-run snapshot of the obs.RunMetrics catalog
+	// (taken after the engine drains, so cross-metric invariants hold).
+	Metrics *obs.Snapshot
 }
 
 // job is one queued access on a server. fail, when non-nil, fires
@@ -206,6 +223,7 @@ type job struct {
 // active accesses (queued + in service).
 type server struct {
 	eng       *sim.Engine
+	rm        *obs.RunMetrics
 	speed     float64 // work rate; demand d takes d/speed
 	pending   []job
 	busy      bool
@@ -246,6 +264,7 @@ func (s *server) arrive(j job) {
 		return
 	}
 	s.active++
+	s.rm.ServerActive.Add(1)
 	s.record()
 	if s.busy || s.paused {
 		s.pending = append(s.pending, j)
@@ -256,6 +275,7 @@ func (s *server) arrive(j job) {
 
 func (s *server) start(j job) {
 	s.busy = true
+	s.rm.WorkersBusy.Add(1)
 	d := sim.Duration(float64(j.service) / s.speed)
 	s.busyTime += d
 	s.cur, s.hasCur = j, true
@@ -266,8 +286,11 @@ func (s *server) start(j job) {
 func (s *server) complete(j job) {
 	s.hasCur = false
 	s.active--
+	s.rm.ServerActive.Add(-1)
+	s.rm.ServerServed.Inc()
 	s.record()
 	s.busy = false
+	s.rm.WorkersBusy.Add(-1)
 	if len(s.pending) > 0 {
 		next := s.pending[0]
 		// Shift rather than re-slice forever to let the array be reused.
@@ -294,6 +317,9 @@ func (s *server) crash() {
 		}
 		s.hasCur = false
 	}
+	if s.busy {
+		s.rm.WorkersBusy.Add(-1)
+	}
 	s.busy = false
 	for _, j := range s.pending {
 		if j.fail != nil {
@@ -301,6 +327,7 @@ func (s *server) crash() {
 		}
 	}
 	s.pending = s.pending[:0]
+	s.rm.ServerActive.Add(-int64(s.active))
 	s.active = 0
 	s.record()
 }
@@ -368,13 +395,42 @@ func Run(cfg Config) (*Result, error) {
 		PollTime: stats.NewSummary(true),
 	}
 
+	// Observability. The catalog always exists (a private registry when
+	// the caller supplied none) so instrumentation below is branch-free;
+	// it schedules no events and draws no randomness, keeping seeded
+	// runs bit-identical with or without a caller registry.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rm := obs.NewRunMetrics(reg)
+	tr := cfg.Trace
+	var clientActor, serverActor []string
+	if tr != nil {
+		clientActor = make([]string, cfg.Clients)
+		for i := range clientActor {
+			clientActor[i] = "client:" + strconv.Itoa(i)
+		}
+		serverActor = make([]string, cfg.Servers)
+		for i := range serverActor {
+			serverActor[i] = "server:" + strconv.Itoa(i)
+		}
+	}
+	// emit records one trace event; actors is clientActor or serverActor
+	// (indexed lazily so the nil-trace path never touches them).
+	emit := func(name string, actors []string, idx int, a, b int64) {
+		if tr != nil {
+			tr.Emit(eng.Now().Seconds(), name, actors[idx], a, b)
+		}
+	}
+
 	servers := make([]*server, cfg.Servers)
 	for i := range servers {
 		speed := 1.0
 		if cfg.SpeedFactors != nil {
 			speed = cfg.SpeedFactors[i]
 		}
-		servers[i] = &server{eng: eng, speed: speed}
+		servers[i] = &server{eng: eng, rm: rm, speed: speed}
 		if cfg.RecordQueueSeries {
 			servers[i].series = &QSeries{}
 		}
@@ -386,6 +442,10 @@ func Run(cfg Config) (*Result, error) {
 	var ft *clientFaults
 	if cfg.Faults.Active() {
 		ft = newClientFaults(eng, cfg.Faults, cfg.Clients, cfg.Servers)
+		ft.onQuarantine = func(client, srv int) {
+			rm.Quarantines.Inc()
+			emit("client.quarantine", clientActor, client, int64(srv), 0)
+		}
 		// Replay node events on the simulated clock.
 		for _, ev := range cfg.Faults.Sorted() {
 			ev := ev
@@ -396,10 +456,13 @@ func Run(cfg Config) (*Result, error) {
 				switch s := servers[ev.Node]; ev.Kind {
 				case faults.Crash:
 					s.crash()
+					emit("server.crash", serverActor, ev.Node, 0, 0)
 				case faults.Pause:
 					s.pause()
+					emit("server.pause", serverActor, ev.Node, 0, 0)
 				case faults.Resume:
 					s.resume()
+					emit("server.resume", serverActor, ev.Node, 0, 0)
 				}
 			})
 		}
@@ -465,6 +528,8 @@ func Run(cfg Config) (*Result, error) {
 	// DefaultAccessRetries times.
 	dispatch := func(idx, client, srv, attempt int, start sim.Time, service, pollDur sim.Duration) {
 		res.Messages.Dispatches++
+		rm.Dispatches.Inc()
+		emit("access.dispatch", clientActor, client, int64(srv), int64(idx))
 		servers[srv].committed++
 		if outstanding != nil {
 			outstanding[client][srv]++
@@ -479,11 +544,17 @@ func Run(cfg Config) (*Result, error) {
 			eng.After(cfg.ServiceNetDelay, func() {
 				settle()
 				completed++
+				rm.Completions.Inc()
+				rm.ResponseSeconds.Observe(eng.Now().Sub(start).Seconds())
+				emit("access.complete", clientActor, client, int64(srv), int64(idx))
 				if idx >= warmup {
 					res.Response.Add(eng.Now().Sub(start).Seconds())
 					if cfg.Policy.Kind == core.Poll {
 						res.PollTime.Add(pollDur.Seconds())
 					}
+				}
+				if cfg.Policy.Kind == core.Poll {
+					rm.PollWaitSeconds.Observe(pollDur.Seconds())
 				}
 				finish()
 			})
@@ -497,10 +568,13 @@ func Run(cfg Config) (*Result, error) {
 					ft.quarantine(client, srv)
 					if attempt >= faults.DefaultAccessRetries {
 						lost++
+						emit("access.lost", clientActor, client, int64(srv), int64(idx))
 						finish()
 						return
 					}
 					res.Retries++
+					rm.Retries.Inc()
+					emit("access.retry", clientActor, client, int64(srv), int64(attempt))
 					eng.After(ft.backoff(attempt), func() {
 						handle(idx, client, attempt+1, start, service)
 					})
@@ -521,6 +595,7 @@ func Run(cfg Config) (*Result, error) {
 		set := core.PollSet(policyRNG, cfg.Servers, cfg.Policy.PollSize, pollDst, pollScratch)
 		polled := append([]int(nil), set...)
 		res.Messages.PollRequests += int64(len(polled))
+		rm.PollRequests.Add(int64(len(polled)))
 
 		// Sample each poll's round trip up front; the response value
 		// is observed at the server halfway through.
@@ -555,6 +630,14 @@ func Run(cfg Config) (*Result, error) {
 			p := p
 			if p.resp > deadline {
 				res.Messages.PollsDiscarded++
+				// In the healthy model every server answers; a discarded
+				// inquiry's answer arrives past the deadline, so it is
+				// both a discard and a late answer (prototype semantics).
+				rm.PollDiscards.Inc()
+				rm.PollLate.Inc()
+				rm.InquiriesServed.Inc() // the server did answer, just late
+				rm.PollRTTSeconds.Observe(p.resp.Sub(start).Seconds())
+				emit("poll.discard", clientActor, client, int64(p.srv), int64(idx))
 				continue
 			}
 			// Observe the server's load index when the inquiry
@@ -565,6 +648,9 @@ func Run(cfg Config) (*Result, error) {
 					Server: p.srv, Load: servers[p.srv].active,
 				})
 				res.Messages.PollResponses++
+				rm.PollResponses.Inc()
+				rm.InquiriesServed.Inc()
+				rm.PollRTTSeconds.Observe(p.resp.Sub(start).Seconds())
 			})
 		}
 		eng.At(deadline, func() {
@@ -586,6 +672,7 @@ func Run(cfg Config) (*Result, error) {
 			polled[i] = cands[ci]
 		}
 		res.Messages.PollRequests += int64(len(polled))
+		rm.PollRequests.Add(int64(len(polled)))
 
 		deadline := roundStart.Add(DefaultPollTimeout)
 		if da := cfg.Policy.DiscardAfter; da > 0 {
@@ -607,6 +694,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 			decided = true
 			res.Messages.PollsDiscarded += int64(len(polled) - len(responses))
+			rm.PollDiscards.Add(int64(len(polled) - len(responses)))
+			if n := len(polled) - len(responses); n > 0 {
+				emit("poll.discard", clientActor, client, int64(n), int64(round))
+			}
 			for _, srv := range polled {
 				if answered[srv] {
 					ft.noteAnswered(client, srv)
@@ -634,6 +725,8 @@ func Run(cfg Config) (*Result, error) {
 				return
 			}
 			res.Retries++
+			rm.Retries.Inc()
+			emit("poll.retry", clientActor, client, int64(round), int64(idx))
 			eng.After(ft.backoff(round), func() {
 				fresh := ft.candidates(client)
 				if fresh == nil {
@@ -648,6 +741,7 @@ func Run(cfg Config) (*Result, error) {
 			srv := srv
 			drop, extra := ft.pollFault(client, srv)
 			if drop {
+				rm.InquiriesDropped.Inc()
 				continue // lost datagram: pure silence until the deadline
 			}
 			rtt := cfg.PollRTT + extra
@@ -666,16 +760,21 @@ func Run(cfg Config) (*Result, error) {
 			eng.At(obsAt, func() {
 				s := servers[srv]
 				if s.down || s.paused {
+					rm.InquiriesDropped.Inc()
 					return
 				}
 				load := s.active
+				rm.InquiriesServed.Inc()
 				eng.At(respAt, func() {
 					if decided {
-						return // late answer; the agent already discarded it
+						rm.PollLate.Inc() // answer landed after the round closed
+						return
 					}
 					responses = append(responses, core.PollResponse{Server: srv, Load: load})
 					answered[srv] = true
 					res.Messages.PollResponses++
+					rm.PollResponses.Inc()
+					rm.PollRTTSeconds.Observe(respAt.Sub(roundStart).Seconds())
 					if len(responses) == len(polled) {
 						decide()
 					}
@@ -814,6 +913,8 @@ func Run(cfg Config) (*Result, error) {
 	// Accesses stranded on a paused-forever server drain no events, so
 	// the engine exits with them still frozen; they are lost too.
 	res.Lost = int64(cfg.Accesses - completed)
+	rm.Lost.Add(res.Lost)
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"finelb/internal/cluster"
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/obs"
 	"finelb/internal/simcluster"
 	"finelb/internal/transport"
 	"finelb/internal/workload"
@@ -75,14 +76,19 @@ type RunResult struct {
 	PollsDiscarded int64
 	// PollsLate counts the subset of PollsDiscarded whose answer
 	// eventually arrived after the discard deadline (§3.2's slow polls,
-	// as opposed to datagrams lost outright). The simulator does not
-	// model late delivery separately and reports zero.
+	// as opposed to datagrams lost outright). On the simulator it is
+	// derived from the run's poll_late_total metric.
 	PollsLate int64
 
 	// Lost counts accesses that never produced a response despite
 	// retries; Retries counts poll re-rounds plus access re-attempts.
 	Lost    int64
 	Retries int64
+
+	// Metrics is the run's end-of-run snapshot of the shared
+	// obs.RunMetrics catalog. Both substrates emit the same metric name
+	// set, which is what makes their snapshots directly comparable.
+	Metrics *obs.Snapshot
 }
 
 // Substrate executes runs. Implementations must be safe to reuse
@@ -126,8 +132,10 @@ func (Sim) Run(spec RunSpec) (*RunResult, error) {
 		PollRequests:   res.Messages.PollRequests,
 		PollResponses:  res.Messages.PollResponses,
 		PollsDiscarded: res.Messages.PollsDiscarded,
+		PollsLate:      res.Metrics.Value(obs.MetricPollLate),
 		Lost:           res.Lost,
 		Retries:        res.Retries,
+		Metrics:        res.Metrics,
 	}, nil
 }
 
@@ -196,5 +204,6 @@ func (p Proto) Run(spec RunSpec) (*RunResult, error) {
 		PollsLate:      res.LateAnswers,
 		Lost:           res.Lost,
 		Retries:        res.Retries,
+		Metrics:        res.Metrics,
 	}, nil
 }

@@ -36,7 +36,15 @@ func TestSimRun(t *testing.T) {
 		t.Errorf("healthy run lost=%d retries=%d", res.Lost, res.Retries)
 	}
 
-	// Determinism across the substrate boundary: same spec, same result.
+	if res.Metrics == nil {
+		t.Fatal("RunResult.Metrics missing")
+	}
+	if got := res.Metrics.Value("poll_requests_total"); got != res.PollRequests {
+		t.Errorf("metric poll_requests_total = %d, counter = %d", got, res.PollRequests)
+	}
+
+	// Determinism across the substrate boundary: same spec, same result
+	// (Metrics compared by digest — the snapshot pointer itself differs).
 	again, err := Sim{}.Run(RunSpec{
 		Servers: 8, Workload: w, Policy: core.NewPoll(2),
 		Accesses: 5000, Seed: 1,
@@ -44,8 +52,13 @@ func TestSimRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *again != *res {
-		t.Errorf("same spec diverged:\n%+v\nvs\n%+v", again, res)
+	a, b := *again, *res
+	a.Metrics, b.Metrics = nil, nil
+	if a != b {
+		t.Errorf("same spec diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if again.Metrics.Digest() != res.Metrics.Digest() {
+		t.Error("same sim spec produced different metric snapshots")
 	}
 }
 
