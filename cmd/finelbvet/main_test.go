@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"finelb/internal/lint"
+	"finelb/internal/lint/analysis"
+)
+
+// TestAnalyzersRegistered is the multichecker smoke test: every suite
+// analyzer is present, uniquely named, documented, and runnable.
+func TestAnalyzersRegistered(t *testing.T) {
+	analyzers := lint.Analyzers()
+	want := map[string]bool{"detclock": false, "obscatalog": false, "closecheck": false}
+	names := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" {
+			t.Fatalf("analyzer with empty name registered")
+		}
+		if names[a.Name] {
+			t.Errorf("analyzer %s registered twice", a.Name)
+		}
+		names[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no documentation", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run function", a.Name)
+		}
+		if _, ok := want[a.Name]; ok {
+			want[a.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("suite is missing the %s analyzer", name)
+		}
+	}
+	if name := analysis.DirectiveAnalyzer; names[name] {
+		t.Errorf("%s is reserved for the driver and may not be a registered analyzer", name)
+	}
+}
+
+// TestTreeIsClean runs the full suite over the repository, making the
+// determinism/catalog/shutdown invariants part of the ordinary test
+// gate: `go test ./...` fails the moment a violation lands, CI or not.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree analysis is the long gate; finelbvet runs it in CI")
+	}
+	pkgs, err := analysis.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: %v", pkg.ImportPath, terr)
+		}
+	}
+	res, err := analysis.Run(lint.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s: %s: %s", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -44,9 +44,9 @@ func main() {
 		// in an obs registry, so the endpoint republishes them as gauges
 		// refreshed at scrape time.
 		reg := obs.NewRegistry()
-		acquires := reg.Gauge("manager_acquires")
-		releases := reg.Gauge("manager_releases")
-		outstanding := reg.Gauge("manager_outstanding")
+		acquires := reg.Gauge(obs.MetricManagerAcquires)
+		releases := reg.Gauge(obs.MetricManagerReleases)
+		outstanding := reg.Gauge(obs.MetricManagerOutstanding)
 		mux := obs.NewMux(reg, nil, *pprofOn)
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {

@@ -33,6 +33,12 @@ type CalibrationConfig struct {
 	// (default transport.Net).
 	Transport transport.Transport
 	Seed      uint64
+
+	// now and sleep are the probe loop's clock, injectable so tests
+	// can pin the burst pacing (default wall clock). finelbvet's
+	// detclock analyzer keeps the loop on them.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // CalibrationResult reports the calibrated full-load point.
@@ -72,6 +78,12 @@ func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 5
 	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
 
 	analyticRate := 1 / cfg.Workload.Service.Mean()
 	res := &CalibrationResult{}
@@ -103,12 +115,12 @@ func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		okWithin, total := 0, 0
-		end := time.Now().Add(cfg.Burst)
-		next := time.Now()
-		for time.Now().Before(end) {
+		end := cfg.now().Add(cfg.Burst)
+		next := cfg.now()
+		for cfg.now().Before(end) {
 			next = next.Add(time.Duration(float64(meanGap) * rng.ExpFloat64()))
-			if wait := time.Until(next); wait > 0 {
-				time.Sleep(wait)
+			if wait := next.Sub(cfg.now()); wait > 0 {
+				cfg.sleep(wait)
 			}
 			arrival := next
 			svcUs := uint32(cfg.Workload.Service.Sample(svcRNG) * 1e6)
@@ -117,7 +129,7 @@ func CalibrateFullLoad(cfg CalibrationConfig) (*CalibrationResult, error) {
 			go func() {
 				defer wg.Done()
 				_, err := client.Access(svcUs, nil)
-				elapsed := time.Since(arrival)
+				elapsed := cfg.now().Sub(arrival)
 				if err == nil && elapsed <= cfg.Within {
 					mu.Lock()
 					okWithin++

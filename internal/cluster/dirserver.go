@@ -65,7 +65,7 @@ func (s *DirServer) Directory() *Directory { return s.dir }
 
 // Close stops the server.
 func (s *DirServer) Close() error {
-	s.once.Do(func() { s.conn.Close() })
+	s.once.Do(func() { _ = s.conn.Close() })
 	s.wg.Wait()
 	return nil
 }

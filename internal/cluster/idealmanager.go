@@ -95,7 +95,7 @@ func (m *IdealManager) Stats() ManagerStats {
 func (m *IdealManager) Close() error {
 	m.once.Do(func() {
 		close(m.done)
-		m.ln.Close()
+		_ = m.ln.Close()
 		m.connMu.Lock()
 		for c := range m.conns {
 			c.Close()

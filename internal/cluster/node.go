@@ -200,7 +200,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	loadConn, err := cfg.Transport.ListenPacket()
 	if err != nil {
-		ln.Close()
+		_ = ln.Close()
 		return nil, err
 	}
 
@@ -329,8 +329,8 @@ func (n *Node) pauseGate() bool {
 func (n *Node) Close() error {
 	n.once.Do(func() {
 		close(n.done)
-		n.ln.Close()
-		n.loadConn.Close()
+		_ = n.ln.Close()
+		_ = n.loadConn.Close()
 		n.connMu.Lock()
 		for c := range n.conns {
 			c.Close()

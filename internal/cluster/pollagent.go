@@ -19,11 +19,11 @@ import (
 type pollAgent struct {
 	conn transport.PacketConn
 
-	mu       sync.Mutex
-	pending  map[uint32]func(load int)
-	closed   bool
-	late     int64        // answers that arrived after their inquiry was cancelled
-	lateCtr  *obs.Counter // run-level poll_late_total (may be nil in unit tests)
+	mu      sync.Mutex
+	pending map[uint32]func(load int)
+	closed  bool
+	late    int64        // answers that arrived after their inquiry was cancelled
+	lateCtr *obs.Counter // run-level poll_late_total (may be nil in unit tests)
 }
 
 func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link, late *obs.Counter) (*pollAgent, error) {
@@ -122,5 +122,5 @@ func (a *pollAgent) close() {
 	a.closed = true
 	a.pending = make(map[uint32]func(load int))
 	a.mu.Unlock()
-	a.conn.Close()
+	_ = a.conn.Close()
 }

@@ -34,7 +34,8 @@ type connPool struct {
 	tr          transport.Transport
 	addr        string
 	dialTimeout time.Duration
-	slots       chan struct{} // one token per permitted live connection
+	now         func() time.Time // injected clock for deadline math (detclock-enforced)
+	slots       chan struct{}    // one token per permitted live connection
 
 	mu     sync.Mutex
 	free   []*pconn
@@ -46,6 +47,7 @@ func newConnPool(tr transport.Transport, addr string) *connPool {
 		tr:          tr,
 		addr:        addr,
 		dialTimeout: 2 * time.Second,
+		now:         time.Now,
 		slots:       make(chan struct{}, maxConnsPerDest),
 	}
 	for i := 0; i < maxConnsPerDest; i++ {
@@ -123,7 +125,7 @@ func (p *connPool) roundTrip(req *Request, timeout time.Duration) (*Response, er
 		return nil, err
 	}
 	if timeout > 0 {
-		if err := pc.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		if err := pc.c.SetDeadline(p.now().Add(timeout)); err != nil {
 			p.discard(pc)
 			return nil, err
 		}

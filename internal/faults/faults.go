@@ -207,6 +207,7 @@ func (s *Schedule) PlayAt(start time.Time, scale float64, apply func(NodeEvent))
 	for _, ev := range s.Sorted() {
 		ev := ev
 		at := start.Add(time.Duration(float64(ev.At) * scale))
+		//lint:allow detclock Player exists to replay schedules on the prototype's wall clock; the simulator replays them on its event clock
 		p.timers = append(p.timers, time.AfterFunc(time.Until(at), func() { apply(ev) }))
 	}
 	return p

@@ -1,0 +1,91 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface the finelbvet suite
+// needs. The build environment pins the module graph (no network, no
+// module cache), so instead of importing x/tools this package provides
+// the same three ideas on the standard library alone:
+//
+//   - Analyzer: a named, documented check with a Run function.
+//   - Pass: one analyzer applied to one type-checked package.
+//   - Diagnostic: a positioned finding.
+//
+// Packages are loaded by internal/lint/analysis.Load (go list +
+// go/parser + go/types over export data) and analyzers are executed by
+// Run, which also applies the repository's `//lint:allow` suppression
+// directives. Fixture-style tests live in internal/lint/analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools analyzers there
+// are no facts or requires-graph: every finelbvet analyzer is a
+// self-contained single-package pass, which keeps the driver trivial.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression directives.
+	Name string
+	// Doc is the analyzer's user-facing documentation. The first line
+	// is the summary shown by `finelbvet -help`.
+	Doc string
+	// Run applies the analyzer to one package. Findings are reported
+	// through pass.Report/Reportf; the error return is for operational
+	// failures only (it aborts the whole run).
+	Run func(*Pass) error
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	// Pos locates the finding (resolve with the pass's FileSet).
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name (filled by the driver).
+	Analyzer string
+	// Message is the human-readable finding.
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset resolves token.Pos values for every file in the package
+	// (and is shared across packages in one Load).
+	Fset *token.FileSet
+	// Files are the package's parsed, comment-bearing syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for the syntax.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records one finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Inspect walks every file in the pass in source order, calling fn for
+// each node (pre-order); fn returning false prunes the subtree. It is
+// the moral equivalent of the x/tools inspect pass without the
+// memoized traversal.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which the driver
+// reports malformed `//lint:allow` directives. It is not a registered
+// analyzer and cannot itself be suppressed: a directive that names no
+// analyzer or gives no reason silences nothing and must be fixed.
+const DirectiveAnalyzer = "lintdirective"
+
+// allowDirective is one parsed `//lint:allow <analyzer> <reason>`
+// comment. A well-formed directive suppresses diagnostics of the named
+// analyzer on its own source line and on the line directly below it
+// (the comment-above-the-statement style).
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// RunResult is the outcome of applying a suite of analyzers to a
+// loaded package set.
+type RunResult struct {
+	// Diagnostics are the surviving (unsuppressed) findings plus one
+	// DirectiveAnalyzer finding per malformed directive, in file/line
+	// order.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by well-formed directives.
+	Suppressed int
+	// Fset resolves the diagnostics' positions.
+	Fset *token.FileSet
+}
+
+// Run applies every analyzer to every package and filters the findings
+// through the packages' `//lint:allow` directives.
+func Run(analyzers []*Analyzer, pkgs []*Package) (*RunResult, error) {
+	res := &RunResult{}
+	for _, pkg := range pkgs {
+		res.Fset = pkg.Fset
+		allows, malformed := scanDirectives(pkg.Fset, pkg.Syntax)
+		res.Diagnostics = append(res.Diagnostics, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				if suppressed(pkg.Fset, d, allows) {
+					res.Suppressed++
+					continue
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sortDiagnostics(res.Fset, res.Diagnostics)
+	return res, nil
+}
+
+// scanDirectives collects the allow directives of one package and
+// reports malformed ones as DirectiveAnalyzer diagnostics.
+func scanDirectives(fset *token.FileSet, files []*ast.File) ([]allowDirective, []Diagnostic) {
+	var allows []allowDirective
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					what := "an analyzer name and a reason"
+					if len(fields) == 1 {
+						what = "a reason"
+					}
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveAnalyzer,
+						Message:  fmt.Sprintf("lint:allow directive is missing %s (want //lint:allow <analyzer> <reason>); it suppresses nothing", what),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows = append(allows, allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+				})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// suppressed reports whether a well-formed directive covers d: same
+// analyzer, same file, and the directive sits on the diagnostic's line
+// or the line above it.
+func suppressed(fset *token.FileSet, d Diagnostic, allows []allowDirective) bool {
+	pos := fset.Position(d.Pos)
+	for _, a := range allows {
+		if a.analyzer == d.Analyzer && a.file == pos.Filename &&
+			(a.line == pos.Line || a.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	if fset == nil {
+		return
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,289 @@
+// Package analysistest runs a finelbvet analyzer over GOPATH-style
+// fixture packages and checks its findings against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which the
+// pinned build environment cannot import).
+//
+// Fixtures live under <testdata>/src/<importpath>/. Imports inside a
+// fixture resolve first against other fixture packages under
+// <testdata>/src, then against the real build (standard library or
+// finelb packages) via compiler export data, so a fixture can import a
+// stub catalog or the genuine one.
+//
+// Expectations:
+//
+//	reg.Counter("oops") // want `metric name "oops"`
+//
+// A trailing `// want` comment anchors to its own line; a `// want`
+// comment alone on a line anchors to the line above it (needed to
+// assert on diagnostics against full-line comments such as a bare
+// //lint:allow). Each backtick-quoted fragment is a regexp that must
+// match one diagnostic's message on the anchored line; diagnostics and
+// expectations must match one-to-one.
+//
+// Findings pass through the same `//lint:allow` suppression filter as
+// the real finelbvet driver (analysis.Run), so fixtures can also prove
+// suppression semantics.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"finelb/internal/lint/analysis"
+)
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer through the shared suppression-aware driver, and reports
+// every mismatch between findings and `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := newLoader(t, testdata)
+	for _, path := range pkgs {
+		pkg := l.load(path)
+		res, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, res.Diagnostics)
+	}
+}
+
+// loader resolves fixture import paths, caching loaded packages. It
+// doubles as the types.Importer for fixture type-checking.
+type loader struct {
+	t    *testing.T
+	src  string // <testdata>/src
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+
+	exports map[string]string // real-build import path -> export data
+	gc      types.Importer
+}
+
+// listedExport is the slice of `go list -json` output the fixture
+// loader reads.
+type listedExport struct {
+	ImportPath string
+	Export     string
+}
+
+func newLoader(t *testing.T, testdata string) *loader {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &loader{
+		t:       t,
+		src:     filepath.Join(abs, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*analysis.Package),
+		exports: make(map[string]string),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// Import implements types.Importer over the two-level search path:
+// fixture tree first, real build second.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.src, filepath.FromSlash(path)); isDir(dir) {
+		return l.load(path).Types, nil
+	}
+	if _, ok := l.exports[path]; !ok {
+		if err := l.listExports(path); err != nil {
+			return nil, err
+		}
+	}
+	return l.gc.Import(path)
+}
+
+// listExports asks the go tool for export data of path and all its
+// dependencies, merging them into the lookup table.
+func (l *loader) listExports(path string) error {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	cmd.Dir = moduleRoot()
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var le listedExport
+		if err := dec.Decode(&le); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list -export %s: decoding output: %v", path, err)
+		}
+		if le.Export != "" {
+			l.exports[le.ImportPath] = le.Export
+		}
+	}
+	if _, ok := l.exports[path]; !ok {
+		return fmt.Errorf("go list produced no export data for %q", path)
+	}
+	return nil
+}
+
+// load parses and type-checks one fixture package (cached).
+func (l *loader) load(path string) *analysis.Package {
+	l.t.Helper()
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	pkg := &analysis.Package{ImportPath: path, Dir: dir, Fset: l.fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		file := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, file, nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("fixture %s: %v", file, err)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, file)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	if len(pkg.Syntax) == 0 {
+		l.t.Fatalf("fixture package %s: no Go files in %s", path, dir)
+	}
+	pkg.TypesInfo = analysis.NewTypesInfo()
+	conf := &types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, pkg.Syntax, pkg.TypesInfo)
+	if len(pkg.TypeErrors) > 0 {
+		l.t.Fatalf("fixture package %s does not type-check: %v", path, pkg.TypeErrors)
+	}
+	l.pkgs[path] = pkg
+	return pkg
+}
+
+// expectation is one `// want` regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// check compares diagnostics against the fixture's want comments.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for i, f := range pkg.Syntax {
+		src, err := os.ReadFile(pkg.GoFiles[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(src), "\n")
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				anchor := pos.Line
+				// A want comment alone on its line asserts on the line
+				// above (for full-line comments like a bare //lint:allow).
+				if pos.Line-1 < len(lines) && strings.TrimSpace(lines[pos.Line-1][:pos.Column-1]) == "" {
+					anchor = pos.Line - 1
+				}
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: want comment holds no backtick-quoted pattern", pos)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: anchor, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match consumes the first unused expectation covering (file, line,
+// message).
+func match(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.used && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so export-data listing runs in module mode wherever the test
+// binary starts.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}

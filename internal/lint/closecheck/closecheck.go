@@ -1,0 +1,216 @@
+// Package closecheck implements the finelbvet analyzer that guards
+// transport-seam shutdown.
+//
+// PR 3 fixed, by hand, a real accept-after-Close race: an accept loop
+// that never recognized its listener's shutdown kept spinning (or
+// leaked a connection accepted mid-close). closecheck makes the two
+// patterns that fix required permanent:
+//
+//  1. Every `for { ... Accept() ... }` loop over a transport.Listener
+//     must be able to exit on an Accept error — a return reachable in
+//     the error branch, conventionally guarded by a done-channel
+//     select and/or errors.Is(err, net.ErrClosed). A loop whose error
+//     path only continues spins forever on a closed listener.
+//  2. Close errors on the transport seam (transport.Listener,
+//     transport.PacketConn) must not be silently discarded as bare
+//     statements: assign the result (even to _) so the discard is
+//     explicit, or defer it. The seam is where shutdown bugs live;
+//     making the discard visible is what keeps reviewers honest.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"finelb/internal/lint/analysis"
+)
+
+// Analyzer is the closecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "require accept loops over transport listeners to exit on closed listeners and forbid silently discarded Close errors on the transport seam",
+	Run:  run,
+}
+
+// transportPathSuffix identifies the seam package (suffix-matched so
+// fixture stubs bind too).
+const transportPathSuffix = "internal/transport"
+
+func run(pass *analysis.Pass) error {
+	listener, packetConn := seamInterfaces(pass)
+	if listener == nil && packetConn == nil {
+		return nil // package does not touch the transport seam
+	}
+	seam := func(t types.Type) bool {
+		return implementsAny(t, listener) || implementsAny(t, packetConn)
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			checkAcceptLoop(pass, n, listener)
+		case *ast.ExprStmt:
+			checkBareClose(pass, n, seam)
+		}
+		return true
+	})
+	return nil
+}
+
+// seamInterfaces resolves the Listener and PacketConn interfaces from
+// the imported transport package (directly or transitively; nil when
+// the package never reaches the seam).
+func seamInterfaces(pass *analysis.Pass) (listener, packetConn *types.Interface) {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		if strings.HasSuffix(p.Path(), transportPathSuffix) {
+			listener = namedInterface(p, "Listener")
+			packetConn = namedInterface(p, "PacketConn")
+			return
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		walk(imp)
+		if listener != nil || packetConn != nil {
+			break
+		}
+	}
+	// The transport package itself also gets checked.
+	if listener == nil && packetConn == nil && strings.HasSuffix(pass.Pkg.Path(), transportPathSuffix) {
+		listener = namedInterface(pass.Pkg, "Listener")
+		packetConn = namedInterface(pass.Pkg, "PacketConn")
+	}
+	return listener, packetConn
+}
+
+func namedInterface(p *types.Package, name string) *types.Interface {
+	obj, ok := p.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}
+
+func implementsAny(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// checkAcceptLoop flags for-loops that call Accept on a
+// transport.Listener but whose error handling can never exit the loop.
+func checkAcceptLoop(pass *analysis.Pass, loop *ast.ForStmt, listener *types.Interface) {
+	if listener == nil {
+		return
+	}
+	accept := findAcceptCall(pass, loop, listener)
+	if accept == nil {
+		return
+	}
+	// The loop is fine if any return statement is reachable inside it:
+	// the error branch (or a post-accept done-check) can end the loop.
+	// A loop with no return at all spins forever once the listener
+	// closes — Accept fails instantly and the error path just loops.
+	hasReturn := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // a return inside a nested func does not exit the loop
+		case *ast.ReturnStmt:
+			hasReturn = true
+		}
+		return !hasReturn
+	})
+	// break also exits; accept a BranchStmt break at top depth.
+	if !hasReturn {
+		ast.Inspect(loop.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+				return false // break there does not leave this loop
+			case *ast.BranchStmt:
+				if n.Tok.String() == "break" {
+					hasReturn = true
+				}
+			}
+			return !hasReturn
+		})
+	}
+	if !hasReturn {
+		pass.Reportf(accept.Pos(),
+			"accept loop cannot exit: once the listener closes, Accept fails forever and this loop spins; return on the done-channel/errors.Is(err, net.ErrClosed) guard (the accept-after-Close pattern)")
+	}
+}
+
+// findAcceptCall locates the first Accept() call on a value whose type
+// satisfies transport.Listener inside the loop (but not in nested
+// function literals).
+func findAcceptCall(pass *analysis.Pass, loop *ast.ForStmt, listener *types.Interface) *ast.CallExpr {
+	var accept *ast.CallExpr
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if accept != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Accept" {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if ok && implementsAny(tv.Type, listener) {
+			accept = call
+		}
+		return true
+	})
+	return accept
+}
+
+// checkBareClose flags `x.Close()` as a bare statement when x sits on
+// the transport seam.
+func checkBareClose(pass *analysis.Pass, stmt *ast.ExprStmt, seam func(types.Type) bool) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !seam(tv.Type) {
+		return
+	}
+	pass.Reportf(stmt.Pos(),
+		"Close error on the transport seam discarded silently; make it explicit (`_ = %s.Close()`) or handle it",
+		exprString(sel.X))
+}
+
+// exprString renders simple receivers for the message; anything
+// complex degrades to "conn".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "conn"
+}

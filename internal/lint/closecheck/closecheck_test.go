@@ -1,0 +1,14 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"finelb/internal/lint/analysistest"
+	"finelb/internal/lint/closecheck"
+)
+
+// TestSeam covers the spinning accept loop, the guarded pattern, and
+// bare versus acknowledged Close on the transport seam.
+func TestSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "seam")
+}

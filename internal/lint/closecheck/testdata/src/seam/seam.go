@@ -1,0 +1,71 @@
+// Package seam is the closecheck fixture: accept loops over transport
+// listeners must be able to exit once the listener closes, and Close
+// errors on the seam may not be discarded as bare statements.
+package seam
+
+import (
+	"errors"
+	"net"
+
+	"x/internal/transport"
+)
+
+// SpinningAccept is the accept-after-Close bug closecheck exists for:
+// once the listener closes, Accept fails instantly and this loop
+// spins forever.
+func SpinningAccept(ln transport.Listener) {
+	for {
+		c, err := ln.Accept() // want `accept loop cannot exit`
+		if err != nil {
+			continue
+		}
+		go serve(c)
+	}
+}
+
+// GuardedAccept is the pattern PR 3 established: a done-channel check
+// plus the ErrClosed guard both end the loop.
+func GuardedAccept(ln transport.Listener, done chan struct{}) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		go serve(c)
+	}
+}
+
+// NestedReturnDoesNotCount: a return inside a spawned goroutine never
+// exits the accept loop.
+func NestedReturnDoesNotCount(ln transport.Listener) {
+	for {
+		c, err := ln.Accept() // want `accept loop cannot exit`
+		if err != nil {
+			go func() { return }()
+			continue
+		}
+		go serve(c)
+	}
+}
+
+// Closes exercises the bare-Close rule on both seam interfaces.
+func Closes(ln transport.Listener, pc transport.PacketConn, c net.Conn) {
+	ln.Close() // want `Close error on the transport seam discarded silently`
+	pc.Close() // want `Close error on the transport seam discarded silently`
+	_ = ln.Close()
+	defer pc.Close()
+	c.Close() // net.Conn is not the seam: allowed
+	if err := ln.Close(); err != nil {
+		_ = err
+	}
+}
+
+func serve(c net.Conn) { _ = c }

@@ -1,0 +1,27 @@
+// Package transport is a stub of finelb/internal/transport for
+// closecheck fixtures: the analyzer suffix-matches the import path and
+// resolves the seam interfaces from it.
+package transport
+
+import (
+	"net"
+	"time"
+)
+
+// Listener mirrors the real stream seam.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Addr() string
+	Close() error
+}
+
+// PacketConn mirrors the real datagram seam.
+type PacketConn interface {
+	ReadFrom(p []byte) (n int, from string, err error)
+	WriteTo(p []byte, addr string) (int, error)
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	LocalAddr() string
+	SetReadDeadline(t time.Time) error
+	Close() error
+}

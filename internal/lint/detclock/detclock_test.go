@@ -1,0 +1,48 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"finelb/internal/lint/analysistest"
+	"finelb/internal/lint/detclock"
+)
+
+// TestDeterministicScope covers the package marker (forbidden clocks,
+// global rand, map-order writes) and the file-scoped marker.
+func TestDeterministicScope(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "det", "mixed")
+}
+
+// TestInjectedClock covers rule 3: wall-clock calls beside an injected
+// clock, in otherwise unconstrained packages.
+func TestInjectedClock(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "injected")
+}
+
+// TestSuppression proves the //lint:allow contract: a well-formed
+// directive silences exactly one diagnostic, and bare or reasonless
+// directives silence nothing and are themselves flagged.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "suppress")
+}
+
+// TestScopeConfig pins the deterministic package list to the packages
+// whose results feed golden-seed digests; shrinking it must be a
+// conscious act.
+func TestScopeConfig(t *testing.T) {
+	for _, path := range []string{
+		"finelb/internal/simcluster",
+		"finelb/internal/sim",
+		"finelb/internal/queueing",
+		"finelb/internal/workload",
+		"finelb/internal/faults",
+		"finelb/internal/stats",
+	} {
+		if !detclock.DeterministicPackages[path] {
+			t.Errorf("DeterministicPackages is missing %s", path)
+		}
+	}
+	if !detclock.DeterministicFiles["finelb/internal/transport"]["mem.go"] {
+		t.Errorf("DeterministicFiles is missing the transport mem fabric")
+	}
+}

@@ -1,0 +1,71 @@
+// Package det is a detclock fixture: the //lint:deterministic marker
+// below scopes the whole package, so wall clocks, the global math/rand
+// source, and map-order-dependent writes are all flagged.
+//
+//lint:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is an injected time source: referencing time.Now as a value is
+// fine — only calling it is forbidden.
+type Clock func() time.Time
+
+// Wall trips every forbidden time function.
+func Wall() {
+	_ = time.Now()          // want `call to time.Now in deterministic code`
+	time.Sleep(time.Second) // want `call to time.Sleep in deterministic code`
+	<-time.After(1)         // want `call to time.After in deterministic code`
+	t := time.NewTimer(1)   // want `call to time.NewTimer in deterministic code`
+	t.Stop()
+	k := time.NewTicker(1) // want `call to time.NewTicker in deterministic code`
+	k.Stop()
+	_ = time.Since(time.Time{}) // want `call to time.Since in deterministic code`
+}
+
+// Injected shows the approved pattern: take the clock as a value.
+func Injected(now Clock) time.Duration {
+	start := now()
+	return now().Sub(start)
+}
+
+// GlobalRand draws from the shared source; SeededRand is the fix.
+func GlobalRand() int {
+	rand.Shuffle(1, func(i, j int) {}) // want `call to the global rand.Shuffle in deterministic code`
+	return rand.Intn(10)               // want `call to the global rand.Intn in deterministic code`
+}
+
+// SeededRand builds its generator from an explicit seed.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// MapOrder leaks map iteration order into results.
+func MapOrder(m map[string]int, out chan<- int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want `append to vals inside a map-range loop`
+		out <- v               // want `send inside a map-range loop`
+	}
+	return vals
+}
+
+// SortedKeys is the idiomatic fix: collecting bare keys is exempt, and
+// the sorted second pass is order-independent.
+func SortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]int, 0, len(keys))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}

@@ -1,0 +1,47 @@
+// Package injected exercises detclock's third rule: no deterministic
+// marker anywhere, but values that carry an injected clock must use
+// it.
+package injected
+
+import "time"
+
+// Poller pairs a wall-clock-free test seam (now, sleep) with the code
+// that should honor it.
+type Poller struct {
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// Bad bypasses both injected funcs.
+func (p *Poller) Bad() time.Duration {
+	start := time.Now()          // want `time.Now bypasses the injected clock p.now`
+	time.Sleep(1)                // want `time.Sleep bypasses the injected sleeper p.sleep`
+	return time.Now().Sub(start) // want `time.Now bypasses the injected clock p.now`
+}
+
+// Good goes through the seam.
+func (p *Poller) Good() time.Duration {
+	start := p.now()
+	p.sleep(1)
+	return p.now().Sub(start)
+}
+
+// Config reaches the clock through a struct parameter.
+type Config struct {
+	Clock func() time.Time
+}
+
+// ViaParam still counts: the clock is in scope.
+func ViaParam(cfg Config) time.Time {
+	return time.Now() // want `time.Now bypasses the injected clock cfg.Clock`
+}
+
+// ViaFuncParam takes the clock directly.
+func ViaFuncParam(now func() time.Time) time.Time {
+	return time.Now() // want `time.Now bypasses the injected clock now`
+}
+
+// NoClock has nothing injected; the wall clock is fine.
+func NoClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// det.go carries a file-scoped marker: only this file of package mixed
+// is deterministic.
+//
+//lint:deterministic file
+package mixed
+
+import "time"
+
+// DetSide is in scope via the file marker.
+func DetSide() time.Time {
+	return time.Now() // want `call to time.Now in deterministic code`
+}

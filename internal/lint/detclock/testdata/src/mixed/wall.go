@@ -1,0 +1,9 @@
+package mixed
+
+import "time"
+
+// WallSide lives in the same package but an unmarked file: the
+// wall clock is its business.
+func WallSide() time.Time {
+	return time.Now()
+}

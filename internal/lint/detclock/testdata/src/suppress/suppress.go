@@ -1,0 +1,39 @@
+// Package suppress proves the `//lint:allow` contract: a well-formed
+// directive silences exactly the diagnostics of its analyzer on its
+// own line (or the line below), and a directive with no analyzer or no
+// reason silences nothing and is itself reported.
+//
+//lint:deterministic
+package suppress
+
+import "time"
+
+// Allowed carries one annotated escape: the directive above the call
+// silences that call only.
+func Allowed() time.Time {
+	//lint:allow detclock fixture exercises an intentional wall-clock escape
+	return time.Now()
+}
+
+// StillFlagged is the identical violation without a directive — the
+// allow in Allowed reaches exactly one diagnostic, not the package.
+func StillFlagged() time.Time {
+	return time.Now() // want `call to time.Now in deterministic code`
+}
+
+// SameLine shows the trailing-comment form.
+func SameLine() time.Time {
+	return time.Now() //lint:allow detclock fixture exercises the same-line directive form
+}
+
+// Malformed directives suppress nothing and are reported themselves;
+// the call they decorate is still flagged.
+func Malformed() time.Time {
+	//lint:allow
+	// want `lint:allow directive is missing an analyzer name and a reason`
+	t := time.Now() // want `call to time.Now in deterministic code`
+	//lint:allow detclock
+	// want `lint:allow directive is missing a reason`
+	_ = time.Now() // want `call to time.Now in deterministic code`
+	return t
+}

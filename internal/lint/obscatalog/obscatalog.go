@@ -1,0 +1,113 @@
+// Package obscatalog implements the finelbvet analyzer that keeps the
+// metric catalog closed.
+//
+// The simulator and the prototype are comparable because both resolve
+// the exact same metric name set (obs.RunMetrics) against their run
+// registries; a cross-substrate test asserts name-set equality. That
+// guarantee dies quietly the first time a component registers a metric
+// under a stray string literal. obscatalog requires every name that
+// reaches an obs registry registration call (Registry.Counter,
+// Registry.Gauge, Registry.Histogram) to be a named constant declared
+// in the obs package itself — the catalog is the single place metric
+// names may be spelled.
+//
+// Non-constant names (variables, parameters) pass: they cannot be
+// checked mechanically and are the registry plumbing's own business;
+// the golden name-set test still covers them end to end.
+package obscatalog
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"finelb/internal/lint/analysis"
+)
+
+// Analyzer is the obscatalog pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obscatalog",
+	Doc:  "require metric names passed to obs registry registration to be constants declared in the obs catalog",
+	Run:  run,
+}
+
+// obsPathSuffix identifies the catalog package (suffix-matched so
+// fixture stubs under a different module prefix bind too).
+const obsPathSuffix = "internal/obs"
+
+// registrations maps obs.Registry method names to the index of their
+// metric-name argument.
+var registrations = map[string]int{
+	"Counter":   0,
+	"Gauge":     0,
+	"Histogram": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		argIdx, ok := registrations[sel.Sel.Name]
+		if !ok || argIdx >= len(call.Args) {
+			return true
+		}
+		if !isObsRegistryMethod(pass, sel) {
+			return true
+		}
+		arg := call.Args[argIdx]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil {
+			return true // dynamic name: registry plumbing, not a spelling site
+		}
+		if declaredInObs(pass, arg) {
+			return true
+		}
+		pass.Reportf(arg.Pos(),
+			"metric name %s is not an obs catalog constant; declare it next to the catalog in internal/obs and reference the constant so the cross-substrate name set cannot drift",
+			tv.Value.ExactString())
+		return true
+	})
+	return nil
+}
+
+// isObsRegistryMethod reports whether sel resolves to a method on the
+// obs package's Registry type.
+func isObsRegistryMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), obsPathSuffix) {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// declaredInObs reports whether the (possibly parenthesized) constant
+// expression is a direct reference to a constant declared in the obs
+// package.
+func declaredInObs(pass *analysis.Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && strings.HasSuffix(c.Pkg().Path(), obsPathSuffix)
+}

@@ -1,0 +1,14 @@
+package obscatalog_test
+
+import (
+	"testing"
+
+	"finelb/internal/lint/analysistest"
+	"finelb/internal/lint/obscatalog"
+)
+
+// TestCatalog covers flagged literals and stray constants, clean
+// catalog references, dynamic names, and the non-registry decoy.
+func TestCatalog(t *testing.T) {
+	analysistest.Run(t, "testdata", obscatalog.Analyzer, "catalog")
+}

@@ -1,0 +1,37 @@
+// Package catalog is the obscatalog fixture: metric names reaching a
+// Registry registration call must be constants declared in the obs
+// package.
+package catalog
+
+import "x/internal/obs"
+
+// strayName is constant but declared outside the catalog package.
+const strayName = "stray_total"
+
+// Register exercises flagged and clean registration shapes.
+func Register(reg *obs.Registry) {
+	reg.Counter(obs.MetricGood)        // catalog constant: clean
+	reg.Gauge((obs.MetricGoodAlt))     // parenthesized catalog constant: clean
+	reg.Counter("oops_total")          // want `metric name "oops_total" is not an obs catalog constant`
+	reg.Gauge(strayName)               // want `metric name "stray_total" is not an obs catalog constant`
+	reg.Histogram("oops_seconds", nil) // want `metric name "oops_seconds" is not an obs catalog constant`
+}
+
+// Dynamic names are registry plumbing, not spelling sites: the
+// analyzer leaves them to the golden name-set test.
+func Dynamic(reg *obs.Registry, name string) *obs.Counter {
+	return reg.Counter(name)
+}
+
+// Decoy has a Counter method that is not the obs registry; literals
+// there are fine.
+type Decoy struct{}
+
+// Counter is not a registration call.
+func (Decoy) Counter(name string) string { return name }
+
+// NotTheRegistry proves method-name matching alone does not trip the
+// analyzer.
+func NotTheRegistry(d Decoy) string {
+	return d.Counter("free_text")
+}

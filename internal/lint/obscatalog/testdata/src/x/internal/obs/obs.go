@@ -1,0 +1,32 @@
+// Package obs is a stub of finelb/internal/obs for obscatalog
+// fixtures: the analyzer suffix-matches the import path, so this stub
+// stands in for the real catalog package.
+package obs
+
+// Registry mirrors the registration surface of the real registry.
+type Registry struct{}
+
+// Counter registers a counter under name.
+func (r *Registry) Counter(name string, opts ...Opt) *Counter { return &Counter{} }
+
+// Gauge registers a gauge under name.
+func (r *Registry) Gauge(name string, opts ...Opt) *Gauge { return &Gauge{} }
+
+// Histogram registers a histogram under name.
+func (r *Registry) Histogram(name string, bounds []float64, opts ...Opt) *Histogram {
+	return &Histogram{}
+}
+
+// Counter, Gauge, Histogram, and Opt mirror the real metric kinds.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+	Opt       func()
+)
+
+// Catalog constants.
+const (
+	MetricGood    = "good_total"
+	MetricGoodAlt = "good_alt_total"
+)

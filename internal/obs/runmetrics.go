@@ -67,6 +67,17 @@ const (
 	MetricPollRTTSeconds   = "poll_rtt_seconds"
 )
 
+// Component metric names outside the per-run catalog. Every metric
+// name in the repository is declared in this package — finelbvet's
+// obscatalog analyzer rejects registration calls whose name is not an
+// obs constant — so even one-off component metrics (lbmanager's
+// republished protocol counters) are spelled here.
+const (
+	MetricManagerAcquires    = "manager_acquires"
+	MetricManagerReleases    = "manager_releases"
+	MetricManagerOutstanding = "manager_outstanding"
+)
+
 // NewRunMetrics resolves the full catalog against reg (registering
 // anything missing). A nil registry gets a fresh private one, so
 // callers can instrument unconditionally and export only when asked.

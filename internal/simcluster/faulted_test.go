@@ -151,7 +151,7 @@ func TestEmptyScheduleBitIdenticalToHealthy(t *testing.T) {
 		Servers: 8, Workload: w,
 		Policy:   core.NewPollDiscard(3, 10*time.Millisecond),
 		Accesses: 20000, Seed: 16,
-		Faults:   &faults.Schedule{Seed: 1},
+		Faults: &faults.Schedule{Seed: 1},
 	})
 	if faulted.Lost != 0 || faulted.Retries != 0 {
 		t.Fatalf("empty schedule caused lost=%d retries=%d", faulted.Lost, faulted.Retries)

@@ -101,6 +101,7 @@ func (m *Mem) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	c1, c2 := net.Pipe()
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
+		//lint:allow detclock dial timeouts bound real goroutine waits; message fates stay seeded-rng driven
 		t := time.NewTimer(timeout)
 		defer t.Stop()
 		timeoutCh = t.C
@@ -165,6 +166,7 @@ func (m *Mem) deliver(from, to string, p []byte) {
 		m.inject(from, to, buf)
 		return
 	}
+	//lint:allow detclock the latency model maps seeded delays onto the wall clock; drop/served fates are decided above by the seeded rng
 	time.AfterFunc(delay, func() { m.inject(from, to, buf) })
 }
 
@@ -204,10 +206,12 @@ func (e *memEndpoint) ReadFrom(p []byte) (int, string, error) {
 	e.mu.Unlock()
 	var timeoutCh <-chan time.Time
 	if !deadline.IsZero() {
+		//lint:allow detclock read deadlines honor net-style wall-clock semantics callers set explicitly
 		d := time.Until(deadline)
 		if d <= 0 {
 			return 0, "", os.ErrDeadlineExceeded
 		}
+		//lint:allow detclock read deadlines honor net-style wall-clock semantics callers set explicitly
 		t := time.NewTimer(d)
 		defer t.Stop()
 		timeoutCh = t.C
