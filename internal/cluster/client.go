@@ -567,6 +567,58 @@ func (c *Client) accessOnce(serviceUs uint32, payload []byte, info *AccessInfo) 
 	return nil
 }
 
+// HasEndpoint reports whether nodeID is currently in the mapping
+// table. The gateway's sticky router checks this before committing a
+// session-bound dispatch to a node the soft state may have expired.
+func (c *Client) HasEndpoint(nodeID int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ep := range c.endpoints {
+		if ep.NodeID == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessNode performs one service access against a specific server
+// node, bypassing policy selection — sticky-session routing (the
+// gateway's affinity path) dispatches session-bound requests this way.
+// The trip is a single attempt with no retries: the caller owns the
+// fallback decision, because re-routing a session is a stickiness
+// violation it must account for. A broken round trip quarantines the
+// node exactly as a policy-selected access would.
+func (c *Client) AccessNode(nodeID int, serviceUs uint32, payload []byte) (*AccessInfo, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: client closed")
+	}
+	var target Endpoint
+	found := false
+	for _, ep := range c.Endpoints() {
+		if ep.NodeID == nodeID {
+			target, found = ep, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: node %d not in mapping table for %q", nodeID, c.cfg.Service)
+	}
+	req := &Request{
+		ID:        c.reqID.Add(1),
+		Service:   c.cfg.Service,
+		Partition: c.cfg.Partition,
+		ServiceUs: serviceUs,
+		Payload:   payload,
+	}
+	c.cfg.Metrics.Dispatches.Inc()
+	resp, err := c.pool(target.AccessAddr).roundTrip(req, c.cfg.AccessTimeout)
+	if err != nil {
+		c.noteAccessFailure(nodeID)
+		return nil, err
+	}
+	return &AccessInfo{Server: nodeID, Resp: resp}, nil
+}
+
 // pollAndPick implements the random polling policy (§3.1-3.2) with
 // failure handling: poll PollSize random non-quarantined servers, and
 // if a whole round goes unanswered, back off and re-poll up to

@@ -52,7 +52,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -479,6 +479,43 @@ func TestDegradedExperiment(t *testing.T) {
 	for r := 4; r <= 5; r++ {
 		if lost := cellF(t, tbl, r, lostCol); lost > 20 {
 			t.Errorf("proto row %d: lost %v accesses", r, lost)
+		}
+	}
+}
+
+func TestGatewayExperiment(t *testing.T) {
+	o := quickOpts
+	o.Transport = "mem"
+	tbl, err := Gateway(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 { // random, poll 2
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	sentCol := colIndex(t, tbl, "Sent")
+	okCol := colIndex(t, tbl, "OK")
+	limitedCol := colIndex(t, tbl, "Limited")
+	stickyCol := colIndex(t, tbl, "Sticky")
+	for r := range tbl.Rows {
+		sent := cellF(t, tbl, r, sentCol)
+		okN := cellF(t, tbl, r, okCol)
+		limited := cellF(t, tbl, r, limitedCol)
+		if sent != 600 {
+			t.Errorf("row %d: sent %v, want 600", r, sent)
+		}
+		if okN == 0 {
+			t.Errorf("row %d: no admitted requests", r)
+		}
+		// Free's bucket passes an eighth of the aggregate rate while
+		// being offered half, so the limiter must visibly bite.
+		if limited == 0 {
+			t.Errorf("row %d: rate limiter never engaged", r)
+		}
+		// Paid sessions re-use 32 keys across 300 requests: affinity
+		// must show up.
+		if sticky := cellF(t, tbl, r, stickyCol); sticky == 0 {
+			t.Errorf("row %d: no sticky hits", r)
 		}
 	}
 }

@@ -31,6 +31,7 @@ var registry = map[string]registryEntry{
 	"leastconn":    {LeastConn, "A4: client-local least-connections comparison"},
 	"burstiness":   {Burstiness, "A5: arrival burstiness sweep"},
 	"degraded":     {Degraded, "Degraded mode: crashes + poll loss on both substrates"},
+	"gateway":      {Gateway, "Gateway: HTTP front door end to end (admission, rate limiting, sticky routing)"},
 }
 
 // Get looks up an experiment by id.

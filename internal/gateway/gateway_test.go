@@ -1,0 +1,461 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+	"finelb/internal/obs"
+	"finelb/internal/transport"
+)
+
+// waitUntil polls cond every millisecond until it holds, failing the
+// test after a bounded deadline.
+func waitUntil(t *testing.T, cond func() bool, desc string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fakeClock is the injected gateway clock: frozen until advanced, so
+// token-bucket and TTL behavior in these tests is exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testGateway is one booted front door: a small cluster, a gateway
+// serving on the transport, and a client that dials through it.
+type testGateway struct {
+	cl  *cluster.Cluster
+	gw  *Gateway
+	hc  *http.Client
+	url string
+	clk *fakeClock
+}
+
+type testGatewayConfig struct {
+	servers int
+	dirTTL  time.Duration
+	tenants []TenantConfig
+	def     string
+}
+
+func startTestGateway(t *testing.T, tr transport.Transport, cfg testGatewayConfig) *testGateway {
+	t.Helper()
+	if cfg.servers == 0 {
+		cfg.servers = 3
+	}
+	reg := obs.NewRegistry()
+	cl, err := cluster.StartCluster(cluster.ExperimentConfig{
+		Servers:   cfg.servers,
+		Clients:   2,
+		Policy:    core.NewRandom(),
+		Transport: tr,
+		SlowProb:  -1, // no contention-model delays: latencies stay test-friendly
+		DirTTL:    cfg.dirTTL,
+		Metrics:   reg,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	clk := newFakeClock()
+	gw, err := New(Config{
+		Backends:      cl.Clients,
+		Tenants:       cfg.tenants,
+		DefaultTenant: cfg.def,
+		Registry:      reg,
+		Now:           clk.now,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := tr.Listen()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := gw.Start(ln); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = gw.Close() })
+	return &testGateway{
+		cl:  cl,
+		gw:  gw,
+		hc:  HTTPClient(tr, 10*time.Second),
+		url: "http://" + gw.Addr(),
+		clk: clk,
+	}
+}
+
+// rawAccess performs one /access request without failing the test, so
+// it is safe from helper goroutines.
+func (tg *testGateway) rawAccess(tenant, session, query string) (int, string, AccessReply, error) {
+	req, err := http.NewRequest(http.MethodPost, tg.url+"/access"+query, strings.NewReader("ping"))
+	if err != nil {
+		return 0, "", AccessReply{}, err
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	if session != "" {
+		req.Header.Set("X-Session", session)
+	}
+	resp, err := tg.hc.Do(req)
+	if err != nil {
+		return 0, "", AccessReply{}, err
+	}
+	defer resp.Body.Close()
+	var reply AccessReply
+	if resp.StatusCode == http.StatusOK {
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Gateway-Reject"), reply, err
+}
+
+func (tg *testGateway) access(t *testing.T, tenant, session, query string) (int, string, AccessReply) {
+	t.Helper()
+	status, cause, reply, err := tg.rawAccess(tenant, session, query)
+	if err != nil {
+		t.Fatalf("access (tenant %q session %q): %v", tenant, session, err)
+	}
+	return status, cause, reply
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	t.Run("mem", func(t *testing.T) {
+		testEndToEnd(t, transport.NewMem(transport.MemConfig{Seed: 1}))
+	})
+	t.Run("net", func(t *testing.T) {
+		testEndToEnd(t, transport.Net{})
+	})
+}
+
+func testEndToEnd(t *testing.T, tr transport.Transport) {
+	tg := startTestGateway(t, tr, testGatewayConfig{
+		tenants: []TenantConfig{
+			{Name: "paid", Sticky: true},
+			{Name: "free"},
+		},
+		def: "paid",
+	})
+
+	resp, err := tg.hc.Get(tg.url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// A bare request lands on the default tenant and reaches a node
+	// through the polling client.
+	status, _, reply := tg.access(t, "", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("access status = %d", status)
+	}
+	if reply.Tenant != "paid" {
+		t.Fatalf("default tenant = %q, want paid", reply.Tenant)
+	}
+	if reply.Server < 0 || reply.Server >= 3 {
+		t.Fatalf("server = %d, want 0..2", reply.Server)
+	}
+
+	// A session's second request is served by the node the first
+	// pinned, and reports the affinity.
+	_, _, first := tg.access(t, "paid", "alice", "")
+	_, _, second := tg.access(t, "paid", "alice", "")
+	if second.Server != first.Server {
+		t.Fatalf("session moved: %d then %d", first.Server, second.Server)
+	}
+	if !second.Sticky || second.Violation {
+		t.Fatalf("second session reply = %+v, want sticky non-violation", second)
+	}
+
+	// An unresolvable tenant is shed before it costs the cluster.
+	status, cause, _ := tg.access(t, "nobody", "", "")
+	if status != http.StatusForbidden || cause != RejectTenant {
+		t.Fatalf("unknown tenant: status %d cause %q", status, cause)
+	}
+
+	// The gateway catalog and per-tenant series land on the shared
+	// /metrics mux.
+	resp, err = tg.hc.Get(tg.url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{obs.MetricGatewayRequests, obs.MetricGatewayAdmitted} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+	snap := tg.gw.Registry().Snapshot()
+	// The per-tenant series land in the same snapshot under derived
+	// names (the JSON body escapes their quotes, so assert via the
+	// snapshot rather than a substring).
+	if _, ok := snap.Get(obs.TenantMetric(obs.MetricGatewayRequests, "paid")); !ok {
+		t.Fatalf("snapshot missing per-tenant series for paid")
+	}
+	if got := snap.Value(obs.MetricGatewayAdmitted); got < 3 {
+		t.Fatalf("admitted = %d, want >= 3", got)
+	}
+	if got := snap.Value(obs.MetricGatewayUnknownTenant); got != 1 {
+		t.Fatalf("unknown-tenant count = %d, want 1", got)
+	}
+}
+
+func TestGatewayRateLimit(t *testing.T) {
+	tg := startTestGateway(t, transport.NewMem(transport.MemConfig{Seed: 2}), testGatewayConfig{
+		tenants: []TenantConfig{{Name: "capped", RateLimit: 1}}, // burst defaults to 1
+		def:     "capped",
+	})
+	// The clock is frozen: exactly the burst is admitted, then 429s.
+	if status, _, _ := tg.access(t, "", "", ""); status != http.StatusOK {
+		t.Fatalf("first request status = %d", status)
+	}
+	for i := 0; i < 3; i++ {
+		status, cause, _ := tg.access(t, "", "", "")
+		if status != http.StatusTooManyRequests || cause != RejectRate {
+			t.Fatalf("over-limit request %d: status %d cause %q", i, status, cause)
+		}
+	}
+	// Refill is driven by the injected clock, capped at the burst: two
+	// seconds buy back one token, not two.
+	tg.clk.advance(2 * time.Second)
+	if status, _, _ := tg.access(t, "", "", ""); status != http.StatusOK {
+		t.Fatalf("post-refill request status = %d", status)
+	}
+	if status, _, _ := tg.access(t, "", "", ""); status != http.StatusTooManyRequests {
+		t.Fatalf("second post-refill request status = %d, want 429", status)
+	}
+	if got := tg.gw.Metrics().RejectedRate.Value(); got != 4 {
+		t.Fatalf("rejected-rate counter = %d, want 4", got)
+	}
+}
+
+func TestGatewayTenantIsolation(t *testing.T) {
+	tg := startTestGateway(t, transport.NewMem(transport.MemConfig{Seed: 3}), testGatewayConfig{
+		tenants: []TenantConfig{
+			{Name: "heavy", MaxInflight: 1},
+			{Name: "light"},
+		},
+	})
+	// Saturate heavy's one admission slot with a slow access.
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, _, _, err := tg.rawAccess("heavy", "", "?service_us=300000")
+		done <- result{status, err}
+	}()
+	heavy := tg.gw.tenants["heavy"]
+	waitUntil(t, func() bool { return heavy.inflight.Load() == 1 }, "heavy request in flight")
+
+	// Heavy is at its cap: its next request is shed at admission...
+	status, cause, _ := tg.access(t, "heavy", "", "")
+	if status != http.StatusServiceUnavailable || cause != RejectAdmission {
+		t.Fatalf("saturated heavy: status %d cause %q", status, cause)
+	}
+	// ...while light — its own limiter, its own slots — still gets in.
+	if status, _, _ := tg.access(t, "light", "", ""); status != http.StatusOK {
+		t.Fatalf("light during heavy saturation: status %d", status)
+	}
+
+	r := <-done
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("slow heavy access: status %d err %v", r.status, r.err)
+	}
+	// The slot freed: heavy is admitted again.
+	if status, _, _ := tg.access(t, "heavy", "", ""); status != http.StatusOK {
+		t.Fatalf("heavy after release: status %d", status)
+	}
+	m := tg.gw.Metrics()
+	if got := m.RejectedAdmission.Value(); got != 1 {
+		t.Fatalf("rejected-admission counter = %d, want 1", got)
+	}
+}
+
+func TestGatewayStickyViolationBudget(t *testing.T) {
+	tg := startTestGateway(t, transport.NewMem(transport.MemConfig{Seed: 4}), testGatewayConfig{
+		tenants: []TenantConfig{{
+			Name:           "paid",
+			Sticky:         true,
+			StickyOverload: 3,
+			ViolationRate:  1, // one discretionary violation per second...
+			ViolationBurst: 2, // ...bursting to two
+		}},
+		def: "paid",
+	})
+	// Pin the session.
+	status, _, reply := tg.access(t, "", "sess", "")
+	if status != http.StatusOK || reply.Sticky || reply.Violation {
+		t.Fatalf("pinning request: status %d reply %+v", status, reply)
+	}
+	pin := reply.Server
+
+	// Keep reporting the pinned node overloaded. The frozen clock
+	// grants exactly the two burst tokens: two discretionary
+	// violations, then the session sticks and eats the delay.
+	for i := 0; i < 5; i++ {
+		tg.gw.loads.note(pin, 5)
+		status, _, reply := tg.access(t, "", "sess", "")
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if i < 2 {
+			if !reply.Violation || reply.Forced {
+				t.Fatalf("request %d = %+v, want discretionary violation", i, reply)
+			}
+		} else {
+			if !reply.Sticky || reply.Violation {
+				t.Fatalf("request %d = %+v, want denied (sticky, no violation)", i, reply)
+			}
+			if reply.Server != pin {
+				t.Fatalf("request %d moved to %d without budget", i, reply.Server)
+			}
+		}
+		pin = reply.Server
+	}
+	m := tg.gw.Metrics()
+	if v, f, d := m.StickyViolations.Value(), m.StickyForced.Value(), m.StickyDenied.Value(); v != 2 || f != 0 || d != 3 {
+		t.Fatalf("violations=%d forced=%d denied=%d, want 2/0/3", v, f, d)
+	}
+
+	// One second of injected time refills one violation token.
+	tg.clk.advance(time.Second)
+	tg.gw.loads.note(pin, 5)
+	if _, _, reply := tg.access(t, "", "sess", ""); !reply.Violation {
+		t.Fatalf("post-refill request = %+v, want violation", reply)
+	}
+	if got := m.StickyViolations.Value(); got != 3 {
+		t.Fatalf("violations after refill = %d, want 3", got)
+	}
+}
+
+func TestGatewayStickyForcedMove(t *testing.T) {
+	tg := startTestGateway(t, transport.NewMem(transport.MemConfig{Seed: 5}), testGatewayConfig{
+		dirTTL: 300 * time.Millisecond, // crashed pins expire fast
+		tenants: []TenantConfig{{
+			Name:           "paid",
+			Sticky:         true,
+			StickyOverload: -1, // only a vanished node breaks affinity
+		}},
+		def: "paid",
+	})
+	_, _, reply := tg.access(t, "", "sess", "")
+	pin := reply.Server
+
+	// Crash the pinned node and wait for its soft state to expire out
+	// of every backend's mapping table.
+	tg.cl.Nodes[pin].Close()
+	waitUntil(t, func() bool {
+		for _, c := range tg.cl.Clients {
+			if c.HasEndpoint(pin) {
+				return false
+			}
+		}
+		return true
+	}, "crashed node to expire from mapping tables")
+
+	status, _, reply := tg.access(t, "", "sess", "")
+	if status != http.StatusOK {
+		t.Fatalf("post-crash request: status %d", status)
+	}
+	if !reply.Violation || !reply.Forced {
+		t.Fatalf("post-crash reply = %+v, want forced violation", reply)
+	}
+	if reply.Server == pin {
+		t.Fatalf("post-crash request served by crashed node %d", pin)
+	}
+	// The session re-pins to the survivor.
+	_, _, again := tg.access(t, "", "sess", "")
+	if !again.Sticky || again.Server != reply.Server {
+		t.Fatalf("re-pin reply = %+v, want sticky on %d", again, reply.Server)
+	}
+	m := tg.gw.Metrics()
+	if v, f := m.StickyViolations.Value(), m.StickyForced.Value(); v != 1 || f != 1 {
+		t.Fatalf("violations=%d forced=%d, want 1/1", v, f)
+	}
+}
+
+func TestRunLoadGen(t *testing.T) {
+	tr := transport.NewMem(transport.MemConfig{Seed: 6})
+	tg := startTestGateway(t, tr, testGatewayConfig{
+		tenants: []TenantConfig{
+			{Name: "paid", Sticky: true},
+			{Name: "free", RateLimit: 1}, // frozen clock: exactly one free request lands
+		},
+	})
+	res, err := RunLoadGen(LoadGenConfig{
+		URL:      tg.url,
+		Client:   tg.hc,
+		Rate:     500,
+		Requests: 50,
+		Tenants:  []string{"paid", "free"},
+		Sessions: 4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("RunLoadGen: %v", err)
+	}
+	if res.Sent != 50 {
+		t.Fatalf("sent = %d, want 50", res.Sent)
+	}
+	if got := res.OK + res.RateLimited + res.RejectedAdmission + res.Overloads + res.Errors; got != res.Sent {
+		t.Fatalf("outcomes sum to %d, sent %d: %s", got, res.Sent, res.Describe())
+	}
+	// 25 paid requests all land; the gateway clock is frozen, so free's
+	// one-token bucket admits exactly one of its 25.
+	if res.OK != 26 || res.RateLimited != 24 || res.Errors != 0 {
+		t.Fatalf("unexpected outcome mix: %s", res.Describe())
+	}
+	// Session reuse produced sticky hits and no budget exists to spend.
+	if res.Sticky == 0 || res.Violations != 0 {
+		t.Fatalf("sticky=%d violations=%d, want >0 and 0: %s", res.Sticky, res.Violations, res.Describe())
+	}
+	if res.Latency.N() != res.OK {
+		t.Fatalf("latency samples = %d, want %d", res.Latency.N(), res.OK)
+	}
+
+	// Bad configs are rejected up front.
+	if _, err := RunLoadGen(LoadGenConfig{URL: tg.url, Rate: 0, Requests: 1}); err == nil {
+		t.Fatal("RunLoadGen accepted rate 0")
+	}
+	if _, err := RunLoadGen(LoadGenConfig{URL: tg.url, Rate: 1, Requests: 0}); err == nil {
+		t.Fatal("RunLoadGen accepted 0 requests")
+	}
+}

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"finelb/internal/stats"
+	"finelb/internal/transport"
+)
+
+// HTTPClient returns an HTTP client that dials through tr, so the load
+// generator (and tests) reach a gateway served on the mem fabric — or
+// any transport — with the standard net/http machinery. The timeout
+// bounds both dials and whole requests.
+func HTTPClient(tr transport.Transport, timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return tr.Dial(addr, timeout)
+			},
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+}
+
+// LoadGenConfig drives RunLoadGen: an open-loop Poisson arrival stream
+// of /access requests against one gateway, the HTTP analogue of the
+// paper's open-loop access driver. Arrivals are scheduled from the
+// seed up front, so lateness under overload queues (and is measured)
+// instead of throttling the offered load.
+type LoadGenConfig struct {
+	// URL is the gateway base, e.g. "http://127.0.0.1:8080" or
+	// "http://mem:3" with a matching Client.
+	URL string
+	// Client performs the requests (nil uses a plain loopback client
+	// with a 10 s timeout; gateways on the mem fabric need
+	// HTTPClient(fabric, ...)).
+	Client *http.Client
+
+	// Rate is the aggregate arrival rate in requests/second.
+	Rate float64
+	// Requests is the total number of requests to issue.
+	Requests int
+
+	// Tenants cycles request attribution (X-Tenant) round-robin; empty
+	// sends no tenant header (the gateway's default tenant applies).
+	Tenants []string
+	// Sessions > 0 draws an X-Session key uniformly from that many
+	// distinct sessions per tenant, exercising sticky routing; zero
+	// sends no session key.
+	Sessions int
+	// ServiceUs, when non-zero, is sent as the per-request service_us.
+	ServiceUs uint32
+
+	Seed uint64
+}
+
+// LoadGenResult aggregates one generator run. Counts partition Sent:
+// OK + RateLimited + RejectedAdmission + Overloads + Errors == Sent.
+type LoadGenResult struct {
+	Sent              int64
+	OK                int64
+	RateLimited       int64 // 429, X-Gateway-Reject: rate
+	RejectedAdmission int64 // 503, X-Gateway-Reject: admission
+	Overloads         int64 // 503, X-Gateway-Reject: overload
+	Errors            int64 // transport errors and unclassified statuses
+
+	Sticky     int64 // replies served by the session's pinned node
+	Violations int64 // replies that report a broken affinity
+
+	// Latency summarizes successful requests, measured from each
+	// request's scheduled arrival instant (open-loop: client-side
+	// lateness counts).
+	Latency *stats.Summary
+	Wall    time.Duration
+}
+
+// Describe renders the run in one line.
+func (r *LoadGenResult) Describe() string {
+	return fmt.Sprintf("sent=%d ok=%d limited=%d rejected=%d overload=%d err=%d sticky=%d violations=%d mean=%.3fms p95=%.3fms wall=%v",
+		r.Sent, r.OK, r.RateLimited, r.RejectedAdmission, r.Overloads, r.Errors,
+		r.Sticky, r.Violations,
+		r.Latency.Mean()*1e3, r.Latency.Percentile(0.95)*1e3, r.Wall.Round(time.Millisecond))
+}
+
+// RunLoadGen issues cfg.Requests open-loop requests and blocks until
+// every response (or failure) has been accounted.
+func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("gateway: loadgen rate %v <= 0", cfg.Rate)
+	}
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("gateway: loadgen requests %d <= 0", cfg.Requests)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	// Pre-generate the whole arrival schedule and per-request identity
+	// so generation cost is off the timed path.
+	rng := stats.NewRNG(cfg.Seed ^ 0x6c6f616467656e) // "loadgen"
+	type plan struct {
+		at      float64 // seconds from start
+		tenant  string
+		session string
+	}
+	plans := make([]plan, cfg.Requests)
+	at := 0.0
+	for i := range plans {
+		at += rng.ExpFloat64() / cfg.Rate
+		plans[i].at = at
+		if len(cfg.Tenants) > 0 {
+			plans[i].tenant = cfg.Tenants[i%len(cfg.Tenants)]
+		}
+		if cfg.Sessions > 0 {
+			plans[i].session = fmt.Sprintf("s%d", rng.Intn(cfg.Sessions))
+		}
+	}
+	url := cfg.URL + "/access"
+	if cfg.ServiceUs > 0 {
+		url = fmt.Sprintf("%s?service_us=%d", url, cfg.ServiceUs)
+	}
+
+	res := &LoadGenResult{Latency: stats.NewSummary(true)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now().Add(10 * time.Millisecond)
+	for i := range plans {
+		p := plans[i]
+		arrival := start.Add(time.Duration(p.at * float64(time.Second)))
+		wg.Add(1)
+		time.AfterFunc(time.Until(arrival), func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, url, nil)
+			if err != nil {
+				mu.Lock()
+				res.Sent++
+				res.Errors++
+				mu.Unlock()
+				return
+			}
+			if p.tenant != "" {
+				req.Header.Set("X-Tenant", p.tenant)
+			}
+			if p.session != "" {
+				req.Header.Set("X-Session", p.session)
+			}
+			resp, err := client.Do(req)
+			elapsed := time.Since(arrival)
+			var reply AccessReply
+			status, cause := 0, ""
+			if err == nil {
+				status = resp.StatusCode
+				cause = resp.Header.Get("X-Gateway-Reject")
+				if status == http.StatusOK {
+					err = json.NewDecoder(resp.Body).Decode(&reply)
+				} else {
+					_, _ = io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			res.Sent++
+			switch {
+			case err != nil:
+				res.Errors++
+			case status == http.StatusOK:
+				res.OK++
+				res.Latency.Add(elapsed.Seconds())
+				if reply.Sticky {
+					res.Sticky++
+				}
+				if reply.Violation {
+					res.Violations++
+				}
+			case cause == RejectRate:
+				res.RateLimited++
+			case cause == RejectAdmission:
+				res.RejectedAdmission++
+			case cause == RejectOverload:
+				res.Overloads++
+			default:
+				res.Errors++
+			}
+		})
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the gateway's rate limiter and stickiness-violation
+// budget: a classic token bucket whose refill is computed from
+// explicitly passed timestamps rather than an internal clock read.
+// Passing the time in keeps the bucket a pure function of its call
+// sequence, so tests drive boundary cases (exactly-at-limit, burst
+// refill) with literal instants and zero sleeps, and the gateway's one
+// injected clock stays the single time source of the request path.
+//
+// A nil *TokenBucket is the unlimited bucket: TakeAt always grants.
+// NewTokenBucket returns nil for a non-positive rate, so "no limit
+// configured" needs no branches at the call sites.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second
+	burst  float64 // bucket capacity (and initial fill)
+	tokens float64
+	last   time.Time // instant of the last refill accounting
+}
+
+// NewTokenBucket builds a bucket that refills at rate tokens/second up
+// to burst. A non-positive rate returns nil (unlimited); a
+// non-positive burst defaults to max(rate, 1) so a configured limiter
+// always admits at least one request at a time.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// TakeAt attempts to take n tokens at instant now, refilling first for
+// the time elapsed since the previous call. It reports whether the
+// take was granted; a denied take consumes nothing. Time never flows
+// backward through the bucket: an out-of-order now (concurrent callers
+// racing on the lock) refills nothing rather than draining the bucket.
+func (b *TokenBucket) TakeAt(now time.Time, n float64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Remaining reports the token count a take at instant now would see,
+// without consuming anything. Tests assert refill math through it; the
+// request path never calls it.
+func (b *TokenBucket) Remaining(now time.Time) float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tokens := b.tokens
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens += dt * b.rate
+			if tokens > b.burst {
+				tokens = b.burst
+			}
+		}
+	}
+	return tokens
+}

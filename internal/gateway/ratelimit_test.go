@@ -1,0 +1,180 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// at returns an absolute instant s seconds past an arbitrary epoch.
+// Every bucket test drives refill with literal instants — no sleeps,
+// no wall clock — so the boundary cases are exact.
+func at(s float64) time.Time {
+	return time.Unix(1_700_000_000, 0).Add(time.Duration(s * float64(time.Second)))
+}
+
+func TestTokenBucketTable(t *testing.T) {
+	type take struct {
+		at   float64 // seconds past epoch
+		n    float64
+		want bool
+	}
+	cases := []struct {
+		name        string
+		rate, burst float64
+		takes       []take
+	}{
+		{
+			// Draining the burst exactly leaves zero; the very next
+			// fractional take at the same instant is denied.
+			name: "exactly-at-limit",
+			rate: 10, burst: 5,
+			takes: []take{
+				{0, 5, true},    // whole burst in one take
+				{0, 0.5, false}, // nothing left at the same instant
+				{0.5, 5, true},  // 0.5s * 10/s refills exactly to burst
+				{0.5, 0.1, false},
+			},
+		},
+		{
+			// One token per second: 0.999s of refill is not a token,
+			// 1.000s is. A denied take consumes nothing.
+			name: "single-token-boundary",
+			rate: 1, burst: 1,
+			takes: []take{
+				{0, 1, true},
+				{0, 1, false},
+				{0.999, 1, false},
+				{1.0, 1, true},
+			},
+		},
+		{
+			// A long idle period refills to the burst cap, not to
+			// rate * elapsed.
+			name: "burst-refill-capped",
+			rate: 2, burst: 4,
+			takes: []take{
+				{0, 4, true},
+				{100, 5, false}, // 200 tokens of elapsed refill, capped at 4
+				{100, 4, true},
+				{100, 0.5, false},
+			},
+		},
+		{
+			// Zero burst defaults to the rate.
+			name: "burst-defaults-to-rate",
+			rate: 3, burst: 0,
+			takes: []take{
+				{0, 3, true},
+				{0, 0.001, false},
+			},
+		},
+		{
+			// A sub-1/s rate still admits one whole request at a time.
+			name: "burst-at-least-one",
+			rate: 0.5, burst: 0,
+			takes: []take{
+				{0, 1, true},
+				{0, 0.5, false},
+				{2, 1, true}, // 2s * 0.5/s = one token back
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewTokenBucket(tc.rate, tc.burst)
+			if b == nil {
+				t.Fatalf("NewTokenBucket(%v, %v) = nil", tc.rate, tc.burst)
+			}
+			for i, tk := range tc.takes {
+				if got := b.TakeAt(at(tk.at), tk.n); got != tk.want {
+					t.Fatalf("take %d: TakeAt(at(%v), %v) = %v, want %v (remaining %v)",
+						i, tk.at, tk.n, got, tk.want, b.Remaining(at(tk.at)))
+				}
+			}
+		})
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		if b := NewTokenBucket(rate, 10); b != nil {
+			t.Fatalf("NewTokenBucket(%v, 10) = %v, want nil (unlimited)", rate, b)
+		}
+	}
+	var b *TokenBucket
+	for i := 0; i < 1000; i++ {
+		if !b.TakeAt(at(0), 1) {
+			t.Fatal("nil bucket denied a take")
+		}
+	}
+	if got := b.Remaining(at(0)); got != 0 {
+		t.Fatalf("nil bucket Remaining = %v, want 0", got)
+	}
+}
+
+func TestTokenBucketTimeNeverFlowsBackward(t *testing.T) {
+	b := NewTokenBucket(10, 2)
+	if !b.TakeAt(at(10), 2) {
+		t.Fatal("initial take denied")
+	}
+	// An out-of-order instant (callers racing on the lock) must not
+	// drain the bucket or grant phantom refill.
+	if b.TakeAt(at(5), 1) {
+		t.Fatal("backward take granted with an empty bucket")
+	}
+	if got := b.Remaining(at(10)); got != 0 {
+		t.Fatalf("Remaining after backward take = %v, want 0", got)
+	}
+	// Forward progress from the high-water instant still refills.
+	if !b.TakeAt(at(10.1), 1) {
+		t.Fatal("take after 0.1s refill denied")
+	}
+}
+
+func TestTokenBucketRemainingDoesNotConsume(t *testing.T) {
+	b := NewTokenBucket(1, 4)
+	for i := 0; i < 5; i++ {
+		if got := b.Remaining(at(0)); got != 4 {
+			t.Fatalf("Remaining call %d = %v, want 4", i, got)
+		}
+	}
+	if !b.TakeAt(at(0), 4) {
+		t.Fatal("take after Remaining probes denied")
+	}
+	// Remaining reflects pending refill without committing it.
+	if got := b.Remaining(at(2)); got != 2 {
+		t.Fatalf("Remaining(+2s) = %v, want 2", got)
+	}
+}
+
+func TestTokenBucketConcurrentTakes(t *testing.T) {
+	// 8 goroutines race 1000 takes each against a 100-token bucket at
+	// one frozen instant: exactly 100 grants, no matter the
+	// interleaving. Run under -race this also exercises the lock.
+	b := NewTokenBucket(1, 100)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		grants int
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 1000; i++ {
+				if b.TakeAt(at(0), 1) {
+					local++
+				}
+			}
+			mu.Lock()
+			grants += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if grants != 100 {
+		t.Fatalf("concurrent grants = %d, want exactly 100", grants)
+	}
+}

@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"finelb/internal/cluster"
+	"finelb/internal/core"
+	"finelb/internal/transport"
+)
+
+func shutdownCluster(t *testing.T, tr transport.Transport) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.StartCluster(cluster.ExperimentConfig{
+		Servers:   1,
+		Clients:   1,
+		Policy:    core.NewRandom(),
+		Transport: tr,
+		SlowProb:  -1,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestGatewayShutdown(t *testing.T) {
+	tr := transport.NewMem(transport.MemConfig{Seed: 7})
+	cl := shutdownCluster(t, tr)
+	gw, err := New(Config{
+		Backends: cl.Clients,
+		Tenants:  []TenantConfig{{Name: "t"}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := tr.Listen()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := gw.Start(ln); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := gw.Start(ln); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+
+	hc := HTTPClient(tr, 2*time.Second)
+	url := "http://" + gw.Addr()
+	resp, err := hc.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	if err := gw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close closed the listener, which exits the accept loop; by the
+	// time Close returns, the serve goroutine is gone.
+	select {
+	case <-gw.serveDone:
+	default:
+		t.Fatal("serve loop still running after Close returned")
+	}
+	// Idempotent: a second Close is a quiet no-op.
+	if err := gw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The address is gone from the fabric: new dials are refused.
+	hc.CloseIdleConnections()
+	if _, err := hc.Get(url + "/healthz"); err == nil {
+		t.Fatal("request succeeded after Close")
+	}
+	// A closed gateway does not restart.
+	if err := gw.Start(ln); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestGatewayCloseBeforeStart(t *testing.T) {
+	tr := transport.NewMem(transport.MemConfig{Seed: 8})
+	cl := shutdownCluster(t, tr)
+	gw, err := New(Config{
+		Backends: cl.Clients,
+		Tenants:  []TenantConfig{{Name: "t"}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Close before Start has nothing to tear down and must not hang.
+	if err := gw.Close(); err != nil {
+		t.Fatalf("Close before Start: %v", err)
+	}
+	if err := gw.Start(nil); err == nil {
+		t.Fatal("Start on a closed gateway succeeded")
+	}
+}

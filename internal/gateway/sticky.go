@@ -1,0 +1,110 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// stickyTable is one tenant's session-affinity state: a bounded map
+// from session key to the node the session is pinned to. Entries
+// expire after the tenant's sticky TTL (an idle session's affinity is
+// not worth holding forever) and the table is capped so a hostile or
+// merely enormous key space cannot grow gateway memory without bound.
+//
+// Timestamps are passed in by the caller (the gateway's injected
+// clock), keeping the table deterministic under test.
+type stickyTable struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	cap     int
+	entries map[string]stickyEntry
+}
+
+type stickyEntry struct {
+	node    int
+	expires time.Time
+}
+
+func newStickyTable(ttl time.Duration, capacity int) *stickyTable {
+	return &stickyTable{
+		ttl:     ttl,
+		cap:     capacity,
+		entries: make(map[string]stickyEntry),
+	}
+}
+
+// get returns the session's pinned node, refreshing the entry's TTL on
+// the hit (affinity follows activity, not first contact).
+func (t *stickyTable) get(key string, now time.Time) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		return 0, false
+	}
+	if now.After(e.expires) {
+		delete(t.entries, key)
+		return 0, false
+	}
+	e.expires = now.Add(t.ttl)
+	t.entries[key] = e
+	return e.node, true
+}
+
+// assign pins (or re-pins) a session to a node. At capacity it first
+// sweeps expired entries; if the table is still full the new session
+// simply is not pinned — it will route by policy until pressure eases,
+// which degrades affinity rather than memory.
+func (t *stickyTable) assign(key string, node int, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[key]; !ok && len(t.entries) >= t.cap {
+		for k, e := range t.entries {
+			if now.After(e.expires) {
+				delete(t.entries, k)
+			}
+		}
+		if len(t.entries) >= t.cap {
+			return
+		}
+	}
+	t.entries[key] = stickyEntry{node: node, expires: now.Add(t.ttl)}
+}
+
+// forget drops a session's pin (the pinned node vanished).
+func (t *stickyTable) forget(key string) {
+	t.mu.Lock()
+	delete(t.entries, key)
+	t.mu.Unlock()
+}
+
+// len reports the live entry count (expired entries still resident
+// count until swept; tests size the table through assign/get anyway).
+func (t *stickyTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// loadTable is the gateway's last-known load index per node, fed from
+// every service response (the server reports its load index in each
+// reply, §3.1). The sticky router consults it to decide whether a
+// pinned node is busy enough to justify spending a violation token.
+type loadTable struct {
+	mu    sync.Mutex
+	loads map[int]int
+}
+
+func newLoadTable() *loadTable { return &loadTable{loads: make(map[int]int)} }
+
+func (t *loadTable) note(node, load int) {
+	t.mu.Lock()
+	t.loads[node] = load
+	t.mu.Unlock()
+}
+
+func (t *loadTable) load(node int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.loads[node]
+}

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStickyTableTTLRefresh(t *testing.T) {
+	tb := newStickyTable(time.Minute, 8)
+	tb.assign("a", 3, at(0))
+	if node, ok := tb.get("a", at(30)); !ok || node != 3 {
+		t.Fatalf("get at +30s = (%d, %v), want (3, true)", node, ok)
+	}
+	// The hit at +30s refreshed the TTL: the pin survives past the
+	// original +60s expiry...
+	if _, ok := tb.get("a", at(89)); !ok {
+		t.Fatal("pin expired despite TTL refresh at +30s")
+	}
+	// ...and a get exactly at the refreshed expiry still hits (expiry
+	// is exclusive), refreshing again.
+	if _, ok := tb.get("a", at(149)); !ok {
+		t.Fatal("pin expired at the exclusive expiry instant")
+	}
+	// A gap longer than the TTL finally expires it.
+	if _, ok := tb.get("a", at(149+61)); ok {
+		t.Fatal("pin survived past its TTL")
+	}
+	if tb.size() != 0 {
+		t.Fatalf("size after expiry = %d, want 0", tb.size())
+	}
+}
+
+func TestStickyTableCapacity(t *testing.T) {
+	tb := newStickyTable(time.Minute, 2)
+	tb.assign("a", 0, at(0))
+	tb.assign("b", 1, at(0))
+	// At capacity with nothing expired, a new session is not pinned —
+	// affinity degrades, memory does not grow.
+	tb.assign("c", 2, at(1))
+	if _, ok := tb.get("c", at(1)); ok {
+		t.Fatal("new session pinned past capacity")
+	}
+	if tb.size() != 2 {
+		t.Fatalf("size = %d, want 2", tb.size())
+	}
+	// Re-pinning an existing session is not growth and always lands.
+	tb.assign("a", 5, at(1))
+	if node, _ := tb.get("a", at(1)); node != 5 {
+		t.Fatalf("re-pin ignored: node = %d, want 5", node)
+	}
+	// Once the residents expire, the at-capacity sweep makes room.
+	tb.assign("c", 2, at(200))
+	if node, ok := tb.get("c", at(200)); !ok || node != 2 {
+		t.Fatalf("pin after sweep = (%d, %v), want (2, true)", node, ok)
+	}
+}
+
+func TestStickyTableForget(t *testing.T) {
+	tb := newStickyTable(time.Minute, 8)
+	tb.assign("a", 1, at(0))
+	tb.forget("a")
+	if _, ok := tb.get("a", at(0)); ok {
+		t.Fatal("forgotten pin still resolves")
+	}
+	tb.forget("never-pinned") // must not panic
+}
+
+func TestLoadTable(t *testing.T) {
+	lt := newLoadTable()
+	if got := lt.load(7); got != 0 {
+		t.Fatalf("unknown node load = %d, want 0", got)
+	}
+	lt.note(7, 4)
+	lt.note(2, 1)
+	if got := lt.load(7); got != 4 {
+		t.Fatalf("load(7) = %d, want 4", got)
+	}
+	lt.note(7, 0) // fresh replies overwrite
+	if got := lt.load(7); got != 0 {
+		t.Fatalf("load(7) after overwrite = %d, want 0", got)
+	}
+}

@@ -1,0 +1,220 @@
+package gateway
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"finelb/internal/obs"
+)
+
+// Defaults for tenant knobs left zero.
+const (
+	// DefaultStickyTTL is how long an idle session keeps its node
+	// affinity.
+	DefaultStickyTTL = time.Minute
+	// DefaultStickySessions caps one tenant's sticky table.
+	DefaultStickySessions = 65536
+	// DefaultStickyOverload is the pinned node's load index at or above
+	// which the router considers spending a violation token to move a
+	// session (the Liang–Borst delay side of the trade-off).
+	DefaultStickyOverload = 4
+)
+
+// TenantConfig is one tenant's contract with the front door: how much
+// traffic it may offer (token-bucket rate limit), how much may be in
+// flight at once (admission control), and whether its sessions get
+// affinity routing with a bounded violation budget.
+type TenantConfig struct {
+	// Name identifies the tenant; requests carry it in X-Tenant.
+	Name string
+
+	// RateLimit is the sustained request rate in requests/second; zero
+	// or negative means unlimited. Burst is the bucket depth (defaults
+	// to RateLimit, at least 1).
+	RateLimit float64
+	Burst     float64
+
+	// MaxInflight caps the tenant's concurrently admitted requests;
+	// zero or negative means unlimited. The cap is what keeps one
+	// saturating tenant from occupying every backend slot.
+	MaxInflight int
+
+	// Sticky enables session-affinity routing for requests carrying an
+	// X-Session key: the session's first access pins it to the node the
+	// configured policy chose, and later accesses go back there.
+	Sticky bool
+	// StickyTTL expires idle sessions (default DefaultStickyTTL).
+	StickyTTL time.Duration
+	// StickySessions caps the tenant's session table (default
+	// DefaultStickySessions).
+	StickySessions int
+	// StickyOverload is the pinned node's last-reported load index at
+	// or above which the router tries to move the session elsewhere
+	// (default DefaultStickyOverload; negative disables load-triggered
+	// moves, so only a vanished node breaks affinity).
+	StickyOverload int
+	// ViolationRate and ViolationBurst budget discretionary stickiness
+	// violations (token bucket, violations/second): with no tokens the
+	// session sticks to its busy node and eats the delay; with tokens
+	// it is re-routed by policy and the move is counted. Zero rate
+	// means no budget — affinity is only broken when the node is gone.
+	ViolationRate  float64
+	ViolationBurst float64
+
+	// ServiceUs is the emulated service demand in microseconds for
+	// requests that do not specify service_us themselves.
+	ServiceUs uint32
+}
+
+// withDefaults fills zero knobs.
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.StickyTTL == 0 {
+		c.StickyTTL = DefaultStickyTTL
+	}
+	if c.StickySessions <= 0 {
+		c.StickySessions = DefaultStickySessions
+	}
+	if c.StickyOverload == 0 {
+		c.StickyOverload = DefaultStickyOverload
+	}
+	return c
+}
+
+// ParseTenants parses the cmd/lbgw -tenants specification: a
+// semicolon-separated list of tenants, each "name" or
+// "name:key=value,key=value,...". Keys:
+//
+//	rate=F      sustained requests/second (0 = unlimited)
+//	burst=F     rate-limit bucket depth
+//	inflight=N  admission cap on concurrent requests
+//	sticky      enable session-affinity routing (flag, no value)
+//	ttl=DUR     idle-session affinity lifetime (time.ParseDuration)
+//	sessions=N  sticky-table capacity
+//	overload=N  load index that triggers a discretionary move
+//	budget=F    stickiness violations/second allowed
+//	budgetburst=F  violation-bucket depth
+//	serviceus=N default emulated service demand, microseconds
+//
+// Example: "paid:rate=500,burst=50,inflight=64,sticky,budget=5;free:rate=50".
+func ParseTenants(spec string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	seen := make(map[string]bool)
+	for _, ts := range strings.Split(spec, ";") {
+		ts = strings.TrimSpace(ts)
+		if ts == "" {
+			continue
+		}
+		name, opts, _ := strings.Cut(ts, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("gateway: tenant with empty name in %q", ts)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("gateway: duplicate tenant %q", name)
+		}
+		seen[name] = true
+		cfg := TenantConfig{Name: name}
+		for _, kv := range strings.Split(opts, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(kv, "=")
+			var err error
+			switch key {
+			case "sticky":
+				if hasVal {
+					return nil, fmt.Errorf("gateway: tenant %q: sticky takes no value", name)
+				}
+				cfg.Sticky = true
+			case "rate":
+				cfg.RateLimit, err = strconv.ParseFloat(val, 64)
+			case "burst":
+				cfg.Burst, err = strconv.ParseFloat(val, 64)
+			case "inflight":
+				cfg.MaxInflight, err = strconv.Atoi(val)
+			case "ttl":
+				cfg.StickyTTL, err = time.ParseDuration(val)
+			case "sessions":
+				cfg.StickySessions, err = strconv.Atoi(val)
+			case "overload":
+				cfg.StickyOverload, err = strconv.Atoi(val)
+			case "budget":
+				cfg.ViolationRate, err = strconv.ParseFloat(val, 64)
+			case "budgetburst":
+				cfg.ViolationBurst, err = strconv.ParseFloat(val, 64)
+			case "serviceus":
+				var v uint64
+				v, err = strconv.ParseUint(val, 10, 32)
+				cfg.ServiceUs = uint32(v)
+			default:
+				return nil, fmt.Errorf("gateway: tenant %q: unknown option %q", name, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("gateway: tenant %q: option %q: %v", name, kv, err)
+			}
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gateway: no tenants in spec %q", spec)
+	}
+	return out, nil
+}
+
+// tenantMetrics is one tenant's slice of the gateway catalog: derived
+// per-tenant names (obs.TenantMetric) resolved once at startup so the
+// request path is map-free.
+type tenantMetrics struct {
+	requests *obs.Counter
+	admitted *obs.Counter
+	latency  *obs.Histogram
+}
+
+// tenant is one tenant's runtime state.
+type tenant struct {
+	cfg      TenantConfig
+	limiter  *TokenBucket // request rate limit (nil = unlimited)
+	budget   *TokenBucket // stickiness violation budget (nil = none)
+	sessions *stickyTable
+	inflight atomic.Int64
+	m        tenantMetrics
+}
+
+func newTenant(cfg TenantConfig, reg *obs.Registry) *tenant {
+	cfg = cfg.withDefaults()
+	return &tenant{
+		cfg:      cfg,
+		limiter:  NewTokenBucket(cfg.RateLimit, cfg.Burst),
+		budget:   NewTokenBucket(cfg.ViolationRate, cfg.ViolationBurst),
+		sessions: newStickyTable(cfg.StickyTTL, cfg.StickySessions),
+		m: tenantMetrics{
+			requests: reg.Counter(obs.TenantMetric(obs.MetricGatewayRequests, cfg.Name)),
+			admitted: reg.Counter(obs.TenantMetric(obs.MetricGatewayAdmitted, cfg.Name)),
+			latency:  reg.Histogram(obs.TenantMetric(obs.MetricGatewayLatencySeconds, cfg.Name), obs.LatencyBuckets(), obs.Timing()),
+		},
+	}
+}
+
+// admit reserves one in-flight slot, reporting false at the cap.
+func (t *tenant) admit() bool {
+	if t.cfg.MaxInflight <= 0 {
+		t.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := t.inflight.Load()
+		if cur >= int64(t.cfg.MaxInflight) {
+			return false
+		}
+		if t.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// release returns an admitted slot.
+func (t *tenant) release() { t.inflight.Add(-1) }

@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"finelb/internal/obs"
+)
+
+func TestParseTenants(t *testing.T) {
+	t.Run("full-spec", func(t *testing.T) {
+		got, err := ParseTenants("paid:rate=500,burst=50,inflight=64,sticky,budget=5;free:rate=50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("parsed %d tenants, want 2", len(got))
+		}
+		paid := got[0]
+		if paid.Name != "paid" || paid.RateLimit != 500 || paid.Burst != 50 ||
+			paid.MaxInflight != 64 || !paid.Sticky || paid.ViolationRate != 5 {
+			t.Fatalf("paid parsed as %+v", paid)
+		}
+		free := got[1]
+		if free.Name != "free" || free.RateLimit != 50 || free.Sticky {
+			t.Fatalf("free parsed as %+v", free)
+		}
+	})
+	t.Run("all-keys", func(t *testing.T) {
+		got, err := ParseTenants("a:sticky,ttl=30s,sessions=10,overload=2,budgetburst=3,serviceus=250")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := got[0]
+		if c.StickyTTL != 30*time.Second || c.StickySessions != 10 ||
+			c.StickyOverload != 2 || c.ViolationBurst != 3 || c.ServiceUs != 250 {
+			t.Fatalf("parsed as %+v", c)
+		}
+	})
+	t.Run("bare-name", func(t *testing.T) {
+		got, err := ParseTenants("solo")
+		if err != nil || len(got) != 1 || got[0].Name != "solo" {
+			t.Fatalf("ParseTenants(solo) = %+v, %v", got, err)
+		}
+	})
+
+	errCases := []struct {
+		name, spec, wantSub string
+	}{
+		{"empty", "", "no tenants"},
+		{"only-separators", " ; ; ", "no tenants"},
+		{"duplicate", "a;a", "duplicate"},
+		{"empty-name", ":rate=1", "empty name"},
+		{"unknown-key", "a:bogus=1", "unknown option"},
+		{"bad-value", "a:rate=fast", `option "rate=fast"`},
+		{"sticky-with-value", "a:sticky=1", "sticky takes no value"},
+	}
+	for _, tc := range errCases {
+		t.Run("err-"+tc.name, func(t *testing.T) {
+			_, err := ParseTenants(tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParseTenants(%q) err = %v, want substring %q", tc.spec, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestTenantConfigDefaults(t *testing.T) {
+	c := TenantConfig{Name: "x"}.withDefaults()
+	if c.StickyTTL != DefaultStickyTTL || c.StickySessions != DefaultStickySessions ||
+		c.StickyOverload != DefaultStickyOverload {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// A negative overload threshold disables load-triggered moves and
+	// must survive defaulting.
+	c = TenantConfig{Name: "x", StickyOverload: -1}.withDefaults()
+	if c.StickyOverload != -1 {
+		t.Fatalf("negative StickyOverload rewritten to %d", c.StickyOverload)
+	}
+}
+
+func TestTenantAdmitCap(t *testing.T) {
+	tn := newTenant(TenantConfig{Name: "x", MaxInflight: 2}, obs.NewRegistry())
+	if !tn.admit() || !tn.admit() {
+		t.Fatal("admission denied below the cap")
+	}
+	if tn.admit() {
+		t.Fatal("admission granted at the cap")
+	}
+	tn.release()
+	if !tn.admit() {
+		t.Fatal("admission denied after a release freed a slot")
+	}
+	for i := 0; i < 2; i++ {
+		tn.release()
+	}
+	if got := tn.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+}
+
+func TestTenantAdmitUnlimited(t *testing.T) {
+	tn := newTenant(TenantConfig{Name: "x"}, obs.NewRegistry())
+	for i := 0; i < 100; i++ {
+		if !tn.admit() {
+			t.Fatalf("unlimited tenant denied admission at %d in flight", i)
+		}
+	}
+}
+
+func TestTenantAdmitConcurrent(t *testing.T) {
+	// 16 goroutines hammer admit/release against a cap of 4; the
+	// observed in-flight count must never exceed the cap and must
+	// drain to zero. Under -race this also exercises the CAS loop.
+	tn := newTenant(TenantConfig{Name: "x", MaxInflight: 4}, obs.NewRegistry())
+	var (
+		wg  sync.WaitGroup
+		max atomic.Int64
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if !tn.admit() {
+					continue
+				}
+				cur := tn.inflight.Load()
+				for {
+					m := max.Load()
+					if cur <= m || max.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				tn.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > 4 {
+		t.Fatalf("observed %d in flight, cap is 4", got)
+	}
+	if got := tn.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+}

@@ -17,6 +17,15 @@ func Register(reg *obs.Registry) {
 	reg.Histogram("oops_seconds", nil) // want `metric name "oops_seconds" is not an obs catalog constant`
 }
 
+// Gateway exercises the gateway catalog: the constant is clean, the
+// same spelling as a literal is a drift bug, and the derived
+// per-tenant name is dynamic plumbing the analyzer leaves alone.
+func Gateway(reg *obs.Registry) {
+	reg.Counter(obs.MetricGatewayRequests)                           // catalog constant: clean
+	reg.Counter("gateway_requests_total")                            // want `metric name "gateway_requests_total" is not an obs catalog constant`
+	reg.Counter(obs.TenantMetric(obs.MetricGatewayRequests, "paid")) // derived name: clean
+}
+
 // Dynamic names are registry plumbing, not spelling sites: the
 // analyzer leaves them to the golden name-set test.
 func Dynamic(reg *obs.Registry, name string) *obs.Counter {

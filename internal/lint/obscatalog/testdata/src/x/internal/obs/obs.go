@@ -29,4 +29,11 @@ type (
 const (
 	MetricGood    = "good_total"
 	MetricGoodAlt = "good_alt_total"
+	// MetricGatewayRequests mirrors the gateway catalog entry.
+	MetricGatewayRequests = "gateway_requests_total"
 )
+
+// TenantMetric mirrors the real catalog's per-tenant name derivation.
+func TenantMetric(base, tenant string) string {
+	return base + `{tenant="` + tenant + `"}`
+}

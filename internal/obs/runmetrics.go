@@ -78,6 +78,38 @@ const (
 	MetricManagerOutstanding = "manager_outstanding"
 )
 
+// Gateway metric names: the HTTP front door's request pipeline
+// (internal/gateway, served by cmd/lbgw). Admission and stickiness
+// counters are pure functions of the request stream and tenant
+// configuration; latency histograms and the in-flight high-water mark
+// are wall-clock shaped. Documented in DESIGN.md §9.
+const (
+	MetricGatewayRequests          = "gateway_requests_total"
+	MetricGatewayAdmitted          = "gateway_admitted_total"
+	MetricGatewayRejectedRate      = "gateway_rejected_rate_total"
+	MetricGatewayRejectedAdmission = "gateway_rejected_admission_total"
+	MetricGatewayUnknownTenant     = "gateway_unknown_tenant_total"
+	MetricGatewayErrors            = "gateway_errors_total"
+	MetricGatewayOverloads         = "gateway_overloads_total"
+	MetricGatewayStickyHits        = "gateway_sticky_hits_total"
+	MetricGatewayStickyViolations  = "gateway_sticky_violations_total"
+	MetricGatewayStickyForced      = "gateway_sticky_forced_total"
+	MetricGatewayStickyDenied      = "gateway_sticky_denied_total"
+	MetricGatewayInflight          = "gateway_inflight"
+	MetricGatewayLatencySeconds    = "gateway_latency_seconds"
+)
+
+// TenantMetric derives the per-tenant variant of a gateway catalog
+// name. The base must be one of the MetricGateway* constants; the
+// derived name carries the tenant as a label-style suffix so snapshots
+// sort tenant series next to their aggregate. Derived names are
+// dynamic by construction, which is exactly the registry-plumbing case
+// finelbvet's obscatalog analyzer exempts: the spelled part stays a
+// catalog constant.
+func TenantMetric(base, tenant string) string {
+	return base + `{tenant="` + tenant + `"}`
+}
+
 // NewRunMetrics resolves the full catalog against reg (registering
 // anything missing). A nil registry gets a fresh private one, so
 // callers can instrument unconditionally and export only when asked.
