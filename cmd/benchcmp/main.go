@@ -1,0 +1,112 @@
+// Command benchcmp compares two BENCH_<experiment>.json records (see
+// internal/experiments.BenchRecord) and fails when a throughput metric
+// regressed beyond a tolerance. CI uses it to gate the simulator hot
+// path: the previous run's BENCH_simscale.json is the baseline, and a
+// >20% drop in mean events/sec fails the job.
+//
+// Usage:
+//
+//	benchcmp [-metric mean:events/sec] [-max-drop 0.20] old.json new.json
+//
+// Records are only compared when their config digests match (same
+// experiment, scale, and column schema); a digest mismatch prints a
+// note and exits 0, so intentional configuration changes re-seed the
+// baseline instead of tripping the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"finelb/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the command end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	metric := fs.String("metric", "mean:events/sec", "BenchRecord metric key to compare")
+	maxDrop := fs.Float64("max-drop", 0.20, "maximum tolerated fractional drop in the metric (0.20 = 20%)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcmp [-metric KEY] [-max-drop FRAC] old.json new.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *maxDrop < 0 || *maxDrop >= 1 {
+		fmt.Fprintf(stderr, "benchcmp: -max-drop %v outside [0,1)\n", *maxDrop)
+		return 2
+	}
+
+	old, err := readRecord(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcmp:", err)
+		return 2
+	}
+	cur, err := readRecord(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcmp:", err)
+		return 2
+	}
+
+	if old.Experiment != cur.Experiment {
+		fmt.Fprintf(stderr, "benchcmp: records are for different experiments (%q vs %q)\n",
+			old.Experiment, cur.Experiment)
+		return 2
+	}
+	if old.ConfigDigest != cur.ConfigDigest {
+		fmt.Fprintf(stdout, "benchcmp: config digest changed (%s -> %s); baseline re-seeded, not compared\n",
+			old.ConfigDigest, cur.ConfigDigest)
+		return 0
+	}
+
+	was, ok := old.Metrics[*metric]
+	if !ok {
+		fmt.Fprintf(stderr, "benchcmp: baseline record has no metric %q\n", *metric)
+		return 2
+	}
+	now, ok := cur.Metrics[*metric]
+	if !ok {
+		fmt.Fprintf(stderr, "benchcmp: new record has no metric %q\n", *metric)
+		return 2
+	}
+	if was <= 0 {
+		fmt.Fprintf(stdout, "benchcmp: baseline %s = %v not positive; nothing to compare\n", *metric, was)
+		return 0
+	}
+
+	change := now/was - 1
+	fmt.Fprintf(stdout, "benchcmp: %s %s: %.4g -> %.4g (%+.1f%%)\n",
+		cur.Experiment, *metric, was, now, change*100)
+	if now < was*(1-*maxDrop) {
+		fmt.Fprintf(stderr, "benchcmp: FAIL: %s dropped %.1f%%, tolerance is %.0f%%\n",
+			*metric, -change*100, *maxDrop*100)
+		return 1
+	}
+	return 0
+}
+
+func readRecord(path string) (experiments.BenchRecord, error) {
+	var rec experiments.BenchRecord
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

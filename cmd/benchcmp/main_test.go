@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRec(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchcmp(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRec(t, dir, "old.json", `{
+		"experiment": "simscale", "config_digest": "abc", "seed": 1,
+		"metrics": {"mean:events/sec": 1000000}
+	}`)
+	sameish := writeRec(t, dir, "ok.json", `{
+		"experiment": "simscale", "config_digest": "abc", "seed": 1,
+		"metrics": {"mean:events/sec": 900000}
+	}`)
+	slow := writeRec(t, dir, "slow.json", `{
+		"experiment": "simscale", "config_digest": "abc", "seed": 1,
+		"metrics": {"mean:events/sec": 700000}
+	}`)
+	rescaled := writeRec(t, dir, "rescaled.json", `{
+		"experiment": "simscale", "config_digest": "xyz", "seed": 1,
+		"metrics": {"mean:events/sec": 1}
+	}`)
+	other := writeRec(t, dir, "other.json", `{
+		"experiment": "figure4", "config_digest": "abc", "seed": 1,
+		"metrics": {"mean:events/sec": 1000000}
+	}`)
+
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stdout+stderr
+	}{
+		{"within tolerance", []string{base, sameish}, 0, "-10.0%"},
+		{"regression fails", []string{base, slow}, 1, "FAIL"},
+		{"improvement passes", []string{sameish, base}, 0, "+11.1%"},
+		{"digest change re-seeds", []string{base, rescaled}, 0, "re-seeded"},
+		{"experiment mismatch", []string{base, other}, 2, "different experiments"},
+		{"missing metric", []string{"-metric", "mean:nope", base, sameish}, 2, "no metric"},
+		{"tighter tolerance", []string{"-max-drop", "0.05", base, sameish}, 1, "tolerance is 5%"},
+		{"missing file", []string{base, filepath.Join(dir, "absent.json")}, 2, ""},
+		{"usage", []string{base}, 2, "usage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(tc.args, &out, &errOut)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.code, out.String(), errOut.String())
+			}
+			if all := out.String() + errOut.String(); !strings.Contains(all, tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, all)
+			}
+		})
+	}
+}

@@ -89,6 +89,7 @@ func main() {
 			}
 		}
 	}
+	start := time.Now()
 	res, err := simcluster.Run(simcluster.Config{
 		Servers:      *servers,
 		Clients:      *clients,
@@ -98,6 +99,7 @@ func main() {
 		Accesses:     *accesses,
 		Seed:         *seed,
 	})
+	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
@@ -121,4 +123,7 @@ func main() {
 	fmt.Printf("utilization mean %.3f\n", res.MeanUtilization())
 	fmt.Printf("messages    %d load-information messages (%.2f per access)\n",
 		res.Messages.Total(), float64(res.Messages.Total())/float64(*accesses))
+	fmt.Printf("engine      %d events in %v (%.3g events/sec)\n",
+		res.EventsFired, wall.Round(time.Millisecond),
+		float64(res.EventsFired)/wall.Seconds())
 }

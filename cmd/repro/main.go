@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list
+//	repro [-quick] [-seed N] [-v] [-transport net|mem] [-servers N] [-accesses N]
+//	      [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list
 //
 // Examples:
 //
@@ -13,6 +14,7 @@
 //	repro table1 figure2 upperbound
 //	repro -format=json -out results.json figure4 figure6
 //	repro -transport=mem figure6      # prototype experiments without sockets
+//	repro -servers 10000 -accesses 10000000 simscale   # hot path at full scale
 //	repro -bench bench -quick all     # also drop BENCH_<id>.json records
 //	repro -quick -metrics metrics.json figure6   # dump per-cell obs snapshots
 //	repro all                         # full-fidelity run (several minutes)
@@ -44,10 +46,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text, json, or csv")
 	csv := fs.Bool("csv", false, "emit CSV (deprecated; same as -format=csv)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
+	servers := fs.Int("servers", 0, "override cluster size for scale-aware experiments (simscale); 0 = experiment default")
+	accesses := fs.Int("accesses", 0, "override access count for scale-aware experiments (simscale); 0 = experiment default")
 	benchDir := fs.String("bench", "", "also write one BENCH_<id>.json record per experiment into this directory")
 	metricsOut := fs.String("metrics", "", "write every cell's obs metrics snapshot to this file as a JSON array")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-servers N] [-accesses N] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			desc, _ := experiments.Describe(id)
 			fmt.Fprintf(stderr, "  %-14s %s\n", id, desc)
@@ -102,7 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dst = f
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Transport: *transportName}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Transport: *transportName,
+		Servers: *servers, Accesses: *accesses,
+	}
 	if *verbose {
 		opts.Progress = stderr
 	}

@@ -1,0 +1,175 @@
+//lint:deterministic file
+// loadindex.go implements the indexed min-load structure behind the
+// IDEAL (join-shortest-queue) and least-connections dispatch paths.
+// The paper-era implementation scanned all n servers per decision;
+// LoadIndex keeps the same "least loaded first" answer available in
+// O(1) with O(log n) updates, which is what makes O(10k)-server runs
+// tractable.
+
+package core
+
+import "fmt"
+
+// LoadIndex is an indexed binary min-heap over per-server integer load
+// values, ordered by (load, server id): Min returns the least-loaded
+// member, ties broken by the lowest server id. Ids are dense [0, n).
+// Members can be detached (Remove) while a server is down or paused and
+// re-attached (Restore) with their load intact, so fault handling
+// composes with the index.
+//
+// LoadIndex is deterministic by construction — no randomness, no map
+// iteration — and allocation-free after New.
+type LoadIndex struct {
+	load []int32 // load[id], tracked even while id is detached
+	heap []int32 // attached ids, heap-ordered by (load, id)
+	pos  []int32 // pos[id]: index into heap, or -1 while detached
+}
+
+// NewLoadIndex returns an index over ids 0..n-1, all attached with
+// load 0.
+func NewLoadIndex(n int) *LoadIndex {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: NewLoadIndex(%d)", n))
+	}
+	x := &LoadIndex{
+		load: make([]int32, n),
+		heap: make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	// All loads equal: the identity assignment is already a valid heap.
+	for i := range x.heap {
+		x.heap[i] = int32(i)
+		x.pos[i] = int32(i)
+	}
+	return x
+}
+
+// Len returns the number of attached members.
+func (x *LoadIndex) Len() int { return len(x.heap) }
+
+// N returns the id-space size (attached or not).
+func (x *LoadIndex) N() int { return len(x.load) }
+
+// Load returns the tracked load of id, attached or not.
+func (x *LoadIndex) Load(id int) int { return int(x.load[id]) }
+
+// Min returns the attached id with the smallest load, ties broken by
+// the lowest id. It returns -1 when every member is detached.
+func (x *LoadIndex) Min() int {
+	if len(x.heap) == 0 {
+		return -1
+	}
+	return int(x.heap[0])
+}
+
+// MinLoad returns the load of Min. It panics when every member is
+// detached.
+func (x *LoadIndex) MinLoad() int {
+	if len(x.heap) == 0 {
+		panic("core: MinLoad on empty LoadIndex")
+	}
+	return int(x.load[x.heap[0]])
+}
+
+// Add shifts id's load by delta (negative deltas decrease it) and
+// restores heap order in O(log n). Detached ids track the new load but
+// cost O(1).
+func (x *LoadIndex) Add(id, delta int) {
+	x.load[id] += int32(delta)
+	p := x.pos[id]
+	if p < 0 {
+		return
+	}
+	if delta > 0 {
+		x.down(int(p))
+	} else if delta < 0 {
+		x.up(int(p))
+	}
+}
+
+// Remove detaches id (server down or paused): it no longer competes
+// for Min, but its load keeps being tracked. Removing a detached id is
+// a no-op.
+func (x *LoadIndex) Remove(id int) {
+	p := x.pos[id]
+	if p < 0 {
+		return
+	}
+	n := len(x.heap) - 1
+	i := int(p)
+	if i != n {
+		moved := x.heap[n]
+		x.heap[i] = moved
+		x.pos[moved] = int32(i)
+	}
+	x.heap = x.heap[:n]
+	x.pos[id] = -1
+	if i < n {
+		if !x.down(i) {
+			x.up(i)
+		}
+	}
+}
+
+// Restore re-attaches a detached id with its tracked load. Restoring an
+// attached id is a no-op.
+func (x *LoadIndex) Restore(id int) {
+	if x.pos[id] >= 0 {
+		return
+	}
+	i := len(x.heap)
+	x.heap = x.heap[:i+1]
+	x.heap[i] = int32(id)
+	x.pos[id] = int32(i)
+	x.up(i)
+}
+
+// less orders attached ids by (load, id).
+func (x *LoadIndex) less(a, b int32) bool {
+	la, lb := x.load[a], x.load[b]
+	return la < lb || (la == lb && a < b)
+}
+
+func (x *LoadIndex) up(i int) bool {
+	h := x.heap
+	id := h[i]
+	start := i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.less(id, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		x.pos[h[i]] = int32(i)
+		i = parent
+	}
+	h[i] = id
+	x.pos[id] = int32(i)
+	return i < start
+}
+
+func (x *LoadIndex) down(i int) bool {
+	h := x.heap
+	n := len(h)
+	id := h[i]
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && x.less(h[right], h[left]) {
+			child = right
+		}
+		if !x.less(h[child], id) {
+			break
+		}
+		h[i] = h[child]
+		x.pos[h[i]] = int32(i)
+		i = child
+	}
+	h[i] = id
+	x.pos[id] = int32(i)
+	return i > start
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refMin is the historical O(n) dispatch scan: least load wins, ties
+// broken by the lowest server index. LoadIndex must agree with it on
+// every prefix of every load sequence.
+func refMin(loads []int, attached []bool) int {
+	best := -1
+	for i, l := range loads {
+		if !attached[i] {
+			continue
+		}
+		if best == -1 || l < loads[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestLoadIndexBasics(t *testing.T) {
+	x := NewLoadIndex(4)
+	if x.Len() != 4 || x.N() != 4 {
+		t.Fatalf("Len=%d N=%d", x.Len(), x.N())
+	}
+	if x.Min() != 0 || x.MinLoad() != 0 {
+		t.Fatalf("fresh index Min=%d MinLoad=%d, want 0,0", x.Min(), x.MinLoad())
+	}
+	x.Add(0, 2)
+	x.Add(1, 1)
+	if x.Min() != 2 {
+		t.Fatalf("Min=%d, want 2 (first zero-load id)", x.Min())
+	}
+	x.Add(2, 3)
+	x.Add(3, 3)
+	if x.Min() != 1 || x.MinLoad() != 1 {
+		t.Fatalf("Min=%d MinLoad=%d, want 1,1", x.Min(), x.MinLoad())
+	}
+	x.Add(1, -1)
+	if x.Min() != 1 || x.MinLoad() != 0 {
+		t.Fatalf("after decrement Min=%d MinLoad=%d", x.Min(), x.MinLoad())
+	}
+	if x.Load(2) != 3 {
+		t.Fatalf("Load(2)=%d", x.Load(2))
+	}
+}
+
+func TestLoadIndexRemoveRestore(t *testing.T) {
+	x := NewLoadIndex(3)
+	x.Add(0, 1)
+	x.Add(1, 2)
+	x.Add(2, 3)
+	x.Remove(0)
+	if x.Len() != 2 || x.Min() != 1 {
+		t.Fatalf("after Remove(0): Len=%d Min=%d", x.Len(), x.Min())
+	}
+	// Load keeps being tracked while detached.
+	x.Add(0, 5)
+	if x.Load(0) != 6 {
+		t.Fatalf("detached load = %d, want 6", x.Load(0))
+	}
+	x.Remove(0) // no-op
+	x.Restore(0)
+	x.Restore(0) // no-op
+	if x.Len() != 3 || x.Min() != 1 {
+		t.Fatalf("after Restore(0): Len=%d Min=%d", x.Len(), x.Min())
+	}
+	x.Remove(0)
+	x.Remove(1)
+	x.Remove(2)
+	if x.Min() != -1 {
+		t.Fatalf("empty Min = %d, want -1", x.Min())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MinLoad on empty index did not panic")
+			}
+		}()
+		x.MinLoad()
+	}()
+}
+
+func TestLoadIndexPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLoadIndex(0) did not panic")
+		}
+	}()
+	NewLoadIndex(0)
+}
+
+// TestQuickLoadIndexMatchesScan is the refactor's safety property: for
+// random sequences of load increments, decrements, removals, and
+// restores, the indexed structure's pick equals the old O(n) scan at
+// every step — including ties, which both break toward the lowest
+// server index.
+func TestQuickLoadIndexMatchesScan(t *testing.T) {
+	f := func(nRaw uint8, ops []uint16) bool {
+		n := int(nRaw%24) + 1
+		x := NewLoadIndex(n)
+		loads := make([]int, n)
+		attached := make([]bool, n)
+		for i := range attached {
+			attached[i] = true
+		}
+		for _, op := range ops {
+			id := int(op>>2) % n
+			switch op & 3 {
+			case 0: // arrival
+				x.Add(id, 1)
+				loads[id]++
+			case 1: // departure (decrement, floor at 0 to stay realistic)
+				if loads[id] > 0 {
+					x.Add(id, -1)
+					loads[id]--
+				}
+			case 2: // server down / paused
+				x.Remove(id)
+				attached[id] = false
+			case 3: // server recovered
+				x.Restore(id)
+				attached[id] = true
+			}
+			want := refMin(loads, attached)
+			if got := x.Min(); got != want {
+				t.Logf("n=%d loads=%v attached=%v: Min=%d, scan=%d", n, loads, attached, got, want)
+				return false
+			}
+			if want >= 0 && x.MinLoad() != loads[want] {
+				return false
+			}
+			for i := range loads {
+				if x.Load(i) != loads[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadIndexZeroAllocs: every mutation after construction is
+// allocation-free; this is the dispatch path at 10k servers.
+func TestLoadIndexZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under -race")
+	}
+	x := NewLoadIndex(1024)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		id := i % 1024
+		x.Add(id, 3)
+		_ = x.Min()
+		x.Remove(id)
+		x.Restore(id)
+		x.Add(id, -3)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("LoadIndex ops allocate %.2f allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkLoadIndexChurn(b *testing.B) {
+	x := NewLoadIndex(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := x.Min()
+		x.Add(id, 1)
+		x.Add((id+4099)%10000, -x.Load((id+4099)%10000))
+	}
+}

@@ -110,9 +110,10 @@ func TestPickLeastPanicsOnEmpty(t *testing.T) {
 
 func TestPollSet(t *testing.T) {
 	rng := stats.NewRNG(3)
-	scratch := make([]int, 16)
+	ident := Identity(16)
+	swaps := make([]int, 16)
 	dst := make([]int, 8)
-	got := PollSet(rng, 16, 3, dst, scratch)
+	got := PollSet(rng, 16, 3, dst, ident, swaps)
 	if len(got) != 3 {
 		t.Fatalf("poll set size %d", len(got))
 	}
@@ -123,13 +124,19 @@ func TestPollSet(t *testing.T) {
 		}
 		seen[v] = true
 	}
+	for i, v := range ident {
+		if v != i {
+			t.Fatalf("PollSet left ident[%d] = %d; identity not restored", i, v)
+		}
+	}
 }
 
 func TestPollSetClampsToN(t *testing.T) {
 	rng := stats.NewRNG(4)
-	scratch := make([]int, 4)
+	ident := Identity(4)
+	swaps := make([]int, 4)
 	dst := make([]int, 8)
-	got := PollSet(rng, 4, 8, dst, scratch)
+	got := PollSet(rng, 4, 8, dst, ident, swaps)
 	if len(got) != 4 {
 		t.Fatalf("clamped poll set size %d, want 4", len(got))
 	}
@@ -285,9 +292,10 @@ func TestQuickPollSetDistinct(t *testing.T) {
 		n := int(nRaw%64) + 1
 		d := int(dRaw%16) + 1
 		rng := stats.NewRNG(seed)
-		scratch := make([]int, n)
+		ident := Identity(n)
+		swaps := make([]int, min(d, n))
 		dst := make([]int, d)
-		got := PollSet(rng, n, d, dst, scratch)
+		got := PollSet(rng, n, d, dst, ident, swaps)
 		if len(got) != min(d, n) {
 			return false
 		}

@@ -53,7 +53,8 @@ func NewBenchRecord(id string, o Options, tbl *Table, wall time.Duration) BenchR
 			rec.Metrics["mean:"+h] = sum / float64(n)
 		}
 	}
-	d := sha256.Sum256([]byte(fmt.Sprintf("%s|quick=%t|header=%v", id, o.Quick, tbl.Header)))
+	d := sha256.Sum256([]byte(fmt.Sprintf("%s|quick=%t|servers=%d|accesses=%d|header=%v",
+		id, o.Quick, o.Servers, o.Accesses, tbl.Header)))
 	rec.ConfigDigest = hex.EncodeToString(d[:8])
 	return rec
 }

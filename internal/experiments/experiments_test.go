@@ -52,7 +52,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -517,5 +517,43 @@ func TestGatewayExperiment(t *testing.T) {
 		if sticky := cellF(t, tbl, r, stickyCol); sticky == 0 {
 			t.Errorf("row %d: no sticky hits", r)
 		}
+	}
+}
+
+func TestSimScale(t *testing.T) {
+	o := quickOpts
+	o.Servers = 64
+	o.Accesses = 20000
+	tbl, err := SimScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		// The -servers/-accesses overrides must reach the run.
+		if got := cellF(t, tbl, r, 1); got != 64 {
+			t.Errorf("row %d: servers %v, want 64 (override ignored)", r, got)
+		}
+		if got := cellF(t, tbl, r, 2); got != 20000 {
+			t.Errorf("row %d: accesses %v, want 20000 (override ignored)", r, got)
+		}
+		// Every access needs several events (arrival, dispatch, service,
+		// response), so the event count bounds the access count below.
+		if events := cellF(t, tbl, r, 3); events < 20000*2 {
+			t.Errorf("row %d: only %v events for 20000 accesses", r, events)
+		}
+		if eps := cellF(t, tbl, r, 5); eps <= 0 {
+			t.Errorf("row %d: events/sec %v", r, eps)
+		}
+		if mean := cellF(t, tbl, r, 6); mean <= 0 {
+			t.Errorf("row %d: mean response %v ms", r, mean)
+		}
+	}
+	// random dispatches blind; poll-8 consults eight queues. At 80% busy
+	// the ordering is a structural property, not a statistical accident.
+	if rnd, p8 := cellF(t, tbl, 0, 6), cellF(t, tbl, 2, 6); p8 >= rnd {
+		t.Errorf("poll-8 mean %.3f >= random mean %.3f", p8, rnd)
 	}
 }

@@ -32,6 +32,7 @@ var registry = map[string]registryEntry{
 	"burstiness":   {Burstiness, "A5: arrival burstiness sweep"},
 	"degraded":     {Degraded, "Degraded mode: crashes + poll loss on both substrates"},
 	"gateway":      {Gateway, "Gateway: HTTP front door end to end (admission, rate limiting, sticky routing)"},
+	"simscale":     {SimScale, "SC1: simulator hot-path throughput at O(10k) servers (events/sec)"},
 }
 
 // Get looks up an experiment by id.

@@ -140,6 +140,12 @@ type Options struct {
 	// for real loopback sockets, "mem" for the deterministic in-memory
 	// fabric. Simulator-only experiments ignore it.
 	Transport string
+	// Servers and Accesses, when positive, override an experiment's
+	// cluster size and access count (cmd/repro -servers/-accesses).
+	// Experiments that reproduce a fixed paper artifact ignore them;
+	// scale-oriented experiments (simscale) honor them.
+	Servers  int
+	Accesses int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 	// Metrics, when non-nil, collects one obs snapshot per substrate

@@ -8,9 +8,12 @@ import (
 )
 
 // TestDeterministicScope covers the package marker (forbidden clocks,
-// global rand, map-order writes) and the file-scoped marker.
+// global rand, map-order writes) and the file-scoped marker. The
+// pooled fixture exercises the hot path's free-list pool pattern: the
+// pool itself must produce no diagnostics, while wall-clock stamps or
+// global-rand jitter on the recycle path are still caught.
 func TestDeterministicScope(t *testing.T) {
-	analysistest.Run(t, "testdata", detclock.Analyzer, "det", "mixed")
+	analysistest.Run(t, "testdata", detclock.Analyzer, "det", "mixed", "pooled")
 }
 
 // TestInjectedClock covers rule 3: wall-clock calls beside an injected

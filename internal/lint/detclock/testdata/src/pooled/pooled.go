@@ -1,0 +1,79 @@
+// Package pooled is a detclock fixture for the free-list pool pattern
+// the engine hot path uses (DESIGN.md §10): slice-backed records
+// recycled through an index-linked free list, with a generation counter
+// invalidating stale handles and callbacks cleared on release. The
+// pattern is deterministic by construction — the analyzer must stay
+// quiet on it — while timestamping or jittering pool reuse from wall
+// clocks or the global rand source is still flagged.
+//
+//lint:deterministic
+package pooled
+
+import (
+	"math/rand"
+	"time"
+)
+
+// node is one pooled record. fn is cleared on release so recycled
+// nodes don't pin whatever the callback captured.
+type node struct {
+	gen  uint64
+	fn   func()
+	next int32
+}
+
+// pool is a slice-backed free list: acquire pops an index, release
+// pushes it back. No allocation after warm-up, no pointers to chase.
+type pool struct {
+	nodes []node
+	free  int32 // head of the free list, -1 when empty
+}
+
+func newPool(n int) *pool {
+	p := &pool{nodes: make([]node, n), free: -1}
+	for i := n - 1; i >= 0; i-- {
+		p.nodes[i].next = p.free
+		p.free = int32(i)
+	}
+	return p
+}
+
+// acquire hands out a free node, growing by doubling when the list is
+// dry. The (index, generation) pair is the caller's handle.
+func (p *pool) acquire(fn func()) (int32, uint64) {
+	if p.free < 0 {
+		i := int32(len(p.nodes))
+		p.nodes = append(p.nodes, node{next: -1})
+		p.free = i
+	}
+	i := p.free
+	n := &p.nodes[i]
+	p.free = n.next
+	n.fn = fn
+	return i, n.gen
+}
+
+// release recycles a node: bump the generation so stale handles miss,
+// clear the callback so it doesn't pin memory, push onto the free list.
+func (p *pool) release(i int32) {
+	n := &p.nodes[i]
+	n.gen++
+	n.fn = nil
+	n.next = p.free
+	p.free = i
+}
+
+// stampWall is the violation this fixture exists to catch: recycled
+// records must never carry wall-clock state.
+func (p *pool) stampWall(i int32) time.Time {
+	_ = i
+	return time.Now() // want `call to time.Now in deterministic code`
+}
+
+// jitterReuse randomizes reuse order from the global source — reuse
+// order feeds event sequence numbers, so this breaks replay.
+func (p *pool) jitterReuse() {
+	if rand.Intn(2) == 0 { // want `call to the global rand.Intn in deterministic code`
+		p.free = -1
+	}
+}

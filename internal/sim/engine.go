@@ -1,14 +1,21 @@
 // Package sim implements a deterministic discrete-event simulation
-// engine: an event heap ordered by simulated time with FIFO
+// engine: an indexed event heap ordered by simulated time with FIFO
 // tie-breaking, an integer-nanosecond clock, and cancellable timers.
 //
 // The engine is intentionally minimal; domain models (servers, clients,
 // networks) live in higher-level packages and are expressed as
 // callbacks scheduled on the engine.
+//
+// The hot path is built from three step primitives —
+// HasPendingEvents, PeekNextEventTime, and ProcessNextEvent — so
+// callers can drive the clock themselves (multi-engine loops, bounded
+// stepping) while Run and RunUntil remain thin wrappers. Event records
+// are recycled through a free-list: steady-state scheduling performs
+// no allocation, and a recycled event's callback is cleared so fired
+// or cancelled closures never pin their captures.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -56,66 +63,64 @@ func (t Time) String() string     { return fmt.Sprintf("%.6fs", t.Seconds()) }
 func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
 
 // event is a scheduled callback. Events with equal times fire in
-// scheduling order (seq), making runs fully deterministic.
+// sequence order (seq), making runs fully deterministic. Event records
+// are pooled: gen identifies the current incarnation so stale Handles
+// from earlier incarnations become no-ops instead of acting on a
+// recycled record.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // position in the heap, for debugging; -1 once popped
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // position in the heap; -1 while on the free-list
+
+	// gen is incremented every time the record is recycled (fire or
+	// cancel). A Handle is live only while its gen matches.
+	gen uint64
+	// cancelledGen records the incarnation that was last cancelled, so
+	// Handle.Cancelled stays answerable after the record is recycled.
+	cancelledGen uint64
 }
 
 // Handle identifies a scheduled event and allows cancelling it.
-type Handle struct{ ev *event }
+// The zero Handle is valid and inert.
+type Handle struct {
+	eng *Engine
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel is lazy: the slot is
-// discarded when it reaches the top of the heap.
+// Cancel removes the event from the schedule in place (O(log n) via the
+// event's heap index — no tombstone lingers in the heap) and clears its
+// callback immediately, so a cancelled closure's captures are released
+// at cancel time rather than when the slot would have surfaced.
+// Cancelling an already-fired or already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.cancelled = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen {
+		return // already fired or cancelled (record recycled)
 	}
+	ev.cancelledGen = h.gen
+	h.eng.removeAt(ev.index)
+	h.eng.recycle(ev)
 }
 
-// Cancelled reports whether the handle's event was cancelled.
-func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// Cancelled reports whether the handle's event was cancelled before it
+// fired. (A handle whose event record has since been cancelled again in
+// a later incarnation reports false; distinct incarnations never share
+// a generation.)
+func (h Handle) Cancelled() bool {
+	return h.ev != nil && h.ev.gen != h.gen && h.ev.cancelledGen == h.gen
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engine is not safe for concurrent use.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  []*event // indexed binary min-heap ordered by (at, seq)
 	seq     uint64
 	stopped bool
 	nFired  uint64
+	free    []*event // recycled event records
 }
 
 // New returns a fresh engine at time 0.
@@ -127,22 +132,66 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.nFired }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
+// Pending returns the number of scheduled events. Cancelled events are
+// removed from the schedule immediately, so they are never counted.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// alloc takes an event record from the free-list, or mints one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{gen: 1, index: -1}
+}
+
+// recycle retires an event record to the free-list. The callback is
+// cleared here — this is the pool's memory guarantee: a fired or
+// cancelled closure (and everything it captures) is unreachable the
+// moment its event leaves the schedule.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics — that is always a model bug.
 func (e *Engine) At(t Time, fn func()) Handle {
+	h := e.AtSeq(t, e.seq, fn)
+	e.seq++
+	return h
+}
+
+// ReserveSeqs reserves n consecutive sequence numbers and returns the
+// first. Events scheduled later via AtSeq with a reserved number order
+// among equal-time events exactly as if they had been scheduled — in
+// reservation order — at the moment of reservation. This is how a
+// caller streams a large pre-determined event population (e.g. arrival
+// processes) lazily without perturbing FIFO tie-breaking.
+func (e *Engine) ReserveSeqs(n uint64) uint64 {
+	base := e.seq
+	e.seq += n
+	return base
+}
+
+// AtSeq schedules fn at absolute time t with an explicit sequence
+// number previously obtained from ReserveSeqs. The same past- and
+// nil-callback panics as At apply.
+func (e *Engine) AtSeq(t Time, seq uint64, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return Handle{ev}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, seq, fn
+	e.push(ev)
+	return Handle{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -157,24 +206,42 @@ func (e *Engine) After(d Duration, fn func()) Handle {
 // in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// step pops and fires the next non-cancelled event.
-// It returns false when no events remain.
-func (e *Engine) step(limit Time) bool {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > limit {
-			return false
-		}
-		heap.Pop(&e.events)
-		if next.cancelled {
-			continue
-		}
-		e.now = next.at
-		e.nFired++
-		next.fn()
-		return true
+// HasPendingEvents reports whether any event remains scheduled.
+func (e *Engine) HasPendingEvents() bool { return len(e.events) > 0 }
+
+// PeekNextEventTime returns the time of the earliest scheduled event
+// without firing it. The boolean is false when nothing is pending.
+func (e *Engine) PeekNextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
 	}
-	return false
+	return e.events[0].at, true
+}
+
+// ProcessNextEvent pops the earliest event, advances the clock to its
+// time, and runs its callback. It returns false when nothing is
+// pending. The event record is recycled before the callback runs, so
+// steady-state scheduling inside callbacks reuses it immediately.
+func (e *Engine) ProcessNextEvent() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events[0]
+	e.removeAt(0)
+	e.now = ev.at
+	e.nFired++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
+}
+
+// step fires the next event if its time is within limit.
+func (e *Engine) step(limit Time) bool {
+	if len(e.events) == 0 || e.events[0].at > limit {
+		return false
+	}
+	return e.ProcessNextEvent()
 }
 
 // Run executes events until none remain or Stop is called.
@@ -222,4 +289,80 @@ func (e *Engine) Every(interval func() Duration, fn func()) (stop func()) {
 	}
 	schedule()
 	return func() { stopped = true }
+}
+
+// less orders events by (time, sequence): earlier times first, FIFO
+// within a time.
+func less(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push appends ev and restores the heap property upward.
+func (e *Engine) push(ev *event) {
+	ev.index = len(e.events)
+	e.events = append(e.events, ev)
+	e.up(ev.index)
+}
+
+// removeAt deletes the event at heap position i in O(log n), keeping
+// every surviving event's index current.
+func (e *Engine) removeAt(i int) {
+	h := e.events
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if i < n {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+// up sifts the event at position i toward the root.
+func (e *Engine) up(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// down sifts the event at position i toward the leaves, reporting
+// whether it moved.
+func (e *Engine) down(i int) bool {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && less(h[right], h[left]) {
+			child = right
+		}
+		if !less(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = i
+		i = child
+	}
+	h[i] = ev
+	ev.index = i
+	return i > start
 }

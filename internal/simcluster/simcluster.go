@@ -8,6 +8,15 @@
 //
 // It powers Figure 2 (load-index inaccuracy), Figure 3 (broadcast
 // frequency), Figure 4 (poll size), and the ablations A1-A3.
+//
+// The hot path is built to scale to O(10k) servers and O(10M) accesses
+// (DESIGN.md §10): server state lives in one value slice, in-flight
+// accesses are pooled records with prebuilt callbacks (zero steady-
+// state allocation on the dispatch path), arrivals are scheduled
+// lazily against a reserved sequence band (the pending-event heap
+// holds the in-flight population, not the whole trace), and the IDEAL
+// and least-connections decisions come from an indexed min-heap
+// (core.LoadIndex) instead of an O(n) scan.
 package simcluster
 
 import (
@@ -196,6 +205,10 @@ type Result struct {
 	QueueSeries []*QSeries
 	// SimDuration is the simulated run length in seconds.
 	SimDuration float64
+	// EventsFired is the number of discrete events the engine executed,
+	// the denominator of the events/sec throughput metric the simscale
+	// benchmark tracks.
+	EventsFired uint64
 
 	// Lost counts accesses that never completed despite retries (always
 	// zero without Faults).
@@ -209,102 +222,348 @@ type Result struct {
 	Metrics *obs.Snapshot
 }
 
-// job is one queued access on a server. fail, when non-nil, fires
-// instead of done if the server crashes with the job still held (or the
-// job arrives at a dead server).
-type job struct {
-	service sim.Duration
-	done    func()
-	fail    func()
+// access is one in-flight service access. Records are pooled by the
+// runner: a record is minted with its callbacks bound once and then
+// recycled when the access completes or is lost, so the steady-state
+// dispatch path schedules pooled engine events with pooled callbacks —
+// no per-access closure allocation.
+type access struct {
+	idx     int
+	client  int
+	attempt int
+	srv     int          // chosen server of the current dispatch
+	start   sim.Time     // arrival time; response time is measured from it
+	service sim.Duration // service demand
+	pollDur sim.Duration // polling duration of the deciding round
+
+	// Callbacks bound to this record for its lifetime (across recycles).
+	runArrival func() // the access's arrival event
+	onArrive   func() // service request reaches the server
+	onService  func() // the server finishes the access's service
+	onDone     func() // response lands back at the client
+	onFail     func() // broken round trip lands back at the client
+	onRetry    func() // backoff elapsed: re-run server selection
 }
 
-// server models the paper's server: a FIFO queue feeding one
-// non-preemptive processing unit. Its load index is the total number of
-// active accesses (queued + in service).
-type server struct {
-	eng       *sim.Engine
-	rm        *obs.RunMetrics
-	speed     float64 // work rate; demand d takes d/speed
-	pending   []job
-	busy      bool
-	active    int // the load index
-	committed int // active + dispatched-but-not-yet-arrived (ideal oracle)
-	busyTime  sim.Duration
-	qavg      stats.TimeWeighted
-	series    *QSeries
-
-	// Fault-injection state (internal/faults); always false/zero in
-	// healthy runs.
+// serverState models the paper's server — a FIFO queue feeding one
+// non-preemptive processing unit, load index = queued + in service —
+// as one compact record in the runner's value slice. Keeping all
+// per-server state in a flat []serverState (no per-server engine or
+// metrics pointers, no per-server heap allocations) is what lets a run
+// hold 10k servers without pointer-chasing on every event.
+type serverState struct {
+	speed        float64 // work rate; demand d takes d/speed
+	busyTime     sim.Duration
+	curEnd       sim.Time     // when the job in service would complete
+	curRemaining sim.Duration // remaining demand while paused
+	curHandle    sim.Handle   // scheduled completion (cancellable)
+	cur          *access      // the access in service
+	qavg         stats.TimeWeighted
+	series       *QSeries
+	queue        []*access // FIFO ring: valid entries are queue[qhead:]
+	qhead        int
+	active       int // the load index
+	busy         bool
 	down         bool
 	paused       bool
 	hasCur       bool
-	cur          job        // the job in service (cancellable on crash/pause)
-	curHandle    sim.Handle // its scheduled completion
-	curEnd       sim.Time   // when the job in service would complete
-	curRemaining sim.Duration
 }
 
-func (s *server) record() {
-	now := s.eng.Now().Seconds()
+// push appends a to the service queue, compacting the consumed prefix
+// only when the backing array is full — amortized O(1), allocation-free
+// once the queue has reached its high-water capacity.
+func (s *serverState) push(a *access) {
+	if s.qhead > 0 && len(s.queue) == cap(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	s.queue = append(s.queue, a)
+}
+
+// pop removes and returns the head of the service queue, or nil.
+func (s *serverState) pop() *access {
+	if s.qhead == len(s.queue) {
+		return nil
+	}
+	a := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue, s.qhead = s.queue[:0], 0
+	}
+	return a
+}
+
+// runner is one simulated run's full state. One runner serves every
+// run. When the fault schedule is absent or inert
+// (faults.Schedule.Active() == false), none of the failure machinery is
+// allocated and the run takes exactly the paper model's RNG draws — the
+// golden-seed harness (golden_test.go) pins this bit for bit. With an
+// active schedule the same runner adds the failure handling that the
+// prototype client implements: per-server quarantine fed by consecutive
+// silent polls, jittered-backoff poll retries, bounded access retries
+// after broken round trips, and random fallback when all polled servers
+// are quarantined.
+type runner struct {
+	cfg Config
+	eng *sim.Engine
+	res *Result
+	reg *obs.Registry
+	rm  *obs.RunMetrics
+	tr  *obs.Trace
+
+	clientActor []string
+	serverActor []string
+
+	srv []serverState
+
+	policyRNG *stats.RNG
+	jitterRNG *stats.RNG
+	stream    *workload.Stream
+
+	// Lazy arrival scheduling: arrivals reserve a sequence band up front
+	// (sim.Engine.ReserveSeqs) and each arrival event schedules the next
+	// one, so the pending heap holds the in-flight population instead of
+	// the whole access trace, with tie-breaking bit-identical to
+	// scheduling everything up front.
+	arrivalBase uint64
+	nextIdx     int
+
+	// commit is the IDEAL oracle's committed-work index (nil for other
+	// policies): accurate load indexes acquired free of cost (§2), seen
+	// as committed work, matching the prototype's centralized manager
+	// which increments on assignment. Crashed and paused servers are
+	// detached, so Min() routes around them directly.
+	commit *core.LoadIndex
+	// local is the per-client outstanding-access index (LocalLeast
+	// only): the message-free least-connections rule.
+	local []*core.LoadIndex
+
+	tables []*core.LoadTable
+	rrs    []core.RoundRobinState
+
+	// Poll scratch: pollIdent is the identity permutation PollSet
+	// requires (restored after every call, so it doubles as the
+	// "all servers" candidate list on quarantine-exhausted paths).
+	pollIdent []int
+	pollSwaps []int
+	pollDst   []int
+
+	ft *clientFaults
+
+	freeAcc  []*access  // recycled access records
+	freePoll []*pollCtx // recycled healthy-poll round contexts
+
+	completed int
+	lost      int
+	warmup    int
+}
+
+// newAccess takes an access record from the free-list, or mints one
+// with its callbacks bound.
+func (r *runner) newAccess() *access {
+	if n := len(r.freeAcc); n > 0 {
+		a := r.freeAcc[n-1]
+		r.freeAcc[n-1] = nil
+		r.freeAcc = r.freeAcc[:n-1]
+		return a
+	}
+	a := &access{}
+	a.runArrival = func() { r.arrival(a) }
+	a.onArrive = func() { r.serverArrive(a) }
+	a.onService = func() { r.serviceDone(a) }
+	a.onDone = func() { r.accessDone(a) }
+	a.onFail = func() { r.accessFailed(a) }
+	a.onRetry = func() { r.handle(a) }
+	return a
+}
+
+// recycle retires a finished access record to the free-list.
+func (r *runner) recycle(a *access) {
+	r.freeAcc = append(r.freeAcc, a)
+}
+
+// emit records one trace event; actors is clientActor or serverActor
+// (indexed lazily so the nil-trace path never touches them).
+func (r *runner) emit(name string, actors []string, idx int, a, b int64) {
+	if r.tr != nil {
+		r.tr.Emit(r.eng.Now().Seconds(), name, actors[idx], a, b)
+	}
+}
+
+// record samples server id's load index into its time-weighted average
+// (and optional series) at the current simulated time.
+func (r *runner) record(id int) {
+	s := &r.srv[id]
+	now := r.eng.Now().Seconds()
 	s.qavg.Set(now, float64(s.active))
 	if s.series != nil {
 		s.series.record(now, s.active)
 	}
 }
 
-// arrive enqueues one access; done fires when its service completes.
-// A job arriving at a crashed server fails immediately (the connection
-// is refused); one arriving at a paused server queues behind the
-// stalled processing unit.
-func (s *server) arrive(j job) {
+// scheduleArrival draws the next access from the workload stream and
+// schedules its arrival event in the reserved sequence band.
+func (r *runner) scheduleArrival() {
+	i := r.nextIdx
+	r.nextIdx++
+	acc := r.stream.Next()
+	a := r.newAccess()
+	a.idx = i
+	a.client = i % r.cfg.Clients
+	a.attempt = 0
+	a.pollDur = 0
+	a.service = sim.FromSeconds(acc.Service)
+	r.eng.AtSeq(sim.Time(sim.FromSeconds(acc.Arrival)), r.arrivalBase+uint64(i), a.runArrival)
+}
+
+// arrival is one access's arrival event: chain the next arrival (the
+// workload stream is monotone in arrival time), then run the policy
+// decision for this one.
+func (r *runner) arrival(a *access) {
+	if r.nextIdx < r.cfg.Accesses {
+		r.scheduleArrival()
+	}
+	a.start = r.eng.Now()
+	r.handle(a)
+}
+
+// dispatch sends the access to a.srv; the response lands back at the
+// client via onDone (or onFail when the round trip breaks under
+// faults).
+func (r *runner) dispatch(a *access) {
+	r.res.Messages.Dispatches++
+	r.rm.Dispatches.Inc()
+	r.emit("access.dispatch", r.clientActor, a.client, int64(a.srv), int64(a.idx))
+	if r.commit != nil {
+		r.commit.Add(a.srv, 1)
+	}
+	if r.local != nil {
+		r.local[a.client].Add(a.srv, 1)
+	}
+	r.eng.After(r.cfg.ServiceNetDelay, a.onArrive)
+}
+
+// settle reverses dispatch's load-index commitments when the round trip
+// concludes (completion or failure).
+func (r *runner) settle(a *access) {
+	if r.commit != nil {
+		r.commit.Add(a.srv, -1)
+	}
+	if r.local != nil {
+		r.local[a.client].Add(a.srv, -1)
+	}
+}
+
+// serverArrive enqueues the access at its server; an access arriving at
+// a crashed server fails immediately (the connection is refused), one
+// arriving at a paused server queues behind the stalled processing
+// unit.
+func (r *runner) serverArrive(a *access) {
+	s := &r.srv[a.srv]
 	if s.down {
-		if j.fail != nil {
-			j.fail()
+		if r.ft != nil {
+			r.eng.After(r.cfg.ServiceNetDelay, a.onFail)
 		}
 		return
 	}
 	s.active++
-	s.rm.ServerActive.Add(1)
-	s.record()
+	r.rm.ServerActive.Add(1)
+	r.record(a.srv)
 	if s.busy || s.paused {
-		s.pending = append(s.pending, j)
+		s.push(a)
 		return
 	}
-	s.start(j)
+	r.startService(a)
 }
 
-func (s *server) start(j job) {
+// startService begins a's service on its (idle) server.
+func (r *runner) startService(a *access) {
+	s := &r.srv[a.srv]
 	s.busy = true
-	s.rm.WorkersBusy.Add(1)
-	d := sim.Duration(float64(j.service) / s.speed)
+	r.rm.WorkersBusy.Add(1)
+	d := sim.Duration(float64(a.service) / s.speed)
 	s.busyTime += d
-	s.cur, s.hasCur = j, true
-	s.curEnd = s.eng.Now().Add(d)
-	s.curHandle = s.eng.After(d, func() { s.complete(j) })
+	s.cur, s.hasCur = a, true
+	s.curEnd = r.eng.Now().Add(d)
+	s.curHandle = r.eng.After(d, a.onService)
 }
 
-func (s *server) complete(j job) {
+// serviceDone completes a's service: the next queued access starts, and
+// the response travels back to the client.
+func (r *runner) serviceDone(a *access) {
+	s := &r.srv[a.srv]
 	s.hasCur = false
+	s.cur = nil
 	s.active--
-	s.rm.ServerActive.Add(-1)
-	s.rm.ServerServed.Inc()
-	s.record()
+	r.rm.ServerActive.Add(-1)
+	r.rm.ServerServed.Inc()
+	r.record(a.srv)
 	s.busy = false
-	s.rm.WorkersBusy.Add(-1)
-	if len(s.pending) > 0 {
-		next := s.pending[0]
-		// Shift rather than re-slice forever to let the array be reused.
-		copy(s.pending, s.pending[1:])
-		s.pending = s.pending[:len(s.pending)-1]
-		s.start(next)
+	r.rm.WorkersBusy.Add(-1)
+	if next := s.pop(); next != nil {
+		r.startService(next)
 	}
-	j.done()
+	r.eng.After(r.cfg.ServiceNetDelay, a.onDone)
 }
 
-// crash kills the server permanently: the in-service job and every
-// queued job fail (their client connections break) and the load index
-// drops to zero.
-func (s *server) crash() {
+// accessDone lands the response at the client and closes the access.
+func (r *runner) accessDone(a *access) {
+	r.settle(a)
+	r.completed++
+	r.rm.Completions.Inc()
+	r.rm.ResponseSeconds.Observe(r.eng.Now().Sub(a.start).Seconds())
+	r.emit("access.complete", r.clientActor, a.client, int64(a.srv), int64(a.idx))
+	if a.idx >= r.warmup {
+		r.res.Response.Add(r.eng.Now().Sub(a.start).Seconds())
+		if r.cfg.Policy.Kind == core.Poll {
+			r.res.PollTime.Add(a.pollDur.Seconds())
+		}
+	}
+	if r.cfg.Policy.Kind == core.Poll {
+		r.rm.PollWaitSeconds.Observe(a.pollDur.Seconds())
+	}
+	r.recycle(a)
+	r.finish()
+}
+
+// accessFailed lands a broken round trip at the client: quarantine the
+// server and retry the whole server selection, up to
+// faults.DefaultAccessRetries times.
+func (r *runner) accessFailed(a *access) {
+	r.settle(a)
+	r.ft.quarantine(a.client, a.srv)
+	if a.attempt >= faults.DefaultAccessRetries {
+		r.lost++
+		r.emit("access.lost", r.clientActor, a.client, int64(a.srv), int64(a.idx))
+		r.recycle(a)
+		r.finish()
+		return
+	}
+	r.res.Retries++
+	r.rm.Retries.Inc()
+	r.emit("access.retry", r.clientActor, a.client, int64(a.srv), int64(a.attempt))
+	attempt := a.attempt
+	a.attempt++
+	r.eng.After(r.ft.backoff(attempt), a.onRetry)
+}
+
+// finish stops the engine once every access is accounted for.
+func (r *runner) finish() {
+	if r.completed+r.lost == r.cfg.Accesses {
+		r.eng.Stop()
+	}
+}
+
+// crash kills server id permanently: the in-service access and every
+// queued access fail (their client connections break) and the load
+// index drops to zero.
+func (r *runner) crash(id int) {
+	s := &r.srv[id]
 	if s.down {
 		return
 	}
@@ -312,73 +571,427 @@ func (s *server) crash() {
 	s.paused = false
 	if s.hasCur {
 		s.curHandle.Cancel()
-		if s.cur.fail != nil {
-			s.cur.fail()
+		if r.ft != nil {
+			r.eng.After(r.cfg.ServiceNetDelay, s.cur.onFail)
 		}
+		s.cur = nil
 		s.hasCur = false
 	}
 	if s.busy {
-		s.rm.WorkersBusy.Add(-1)
+		r.rm.WorkersBusy.Add(-1)
 	}
 	s.busy = false
-	for _, j := range s.pending {
-		if j.fail != nil {
-			j.fail()
+	for a := s.pop(); a != nil; a = s.pop() {
+		if r.ft != nil {
+			r.eng.After(r.cfg.ServiceNetDelay, a.onFail)
 		}
 	}
-	s.pending = s.pending[:0]
-	s.rm.ServerActive.Add(-int64(s.active))
+	r.rm.ServerActive.Add(-int64(s.active))
 	s.active = 0
-	s.record()
+	r.record(id)
+	if r.commit != nil {
+		r.commit.Remove(id)
+	}
 }
 
-// pause freezes the processing unit mid-job: the in-service job's
-// completion is suspended with its remaining demand intact, and no
-// queued job starts until resume.
-func (s *server) pause() {
+// pause freezes server id's processing unit mid-job: the in-service
+// access's completion is suspended with its remaining demand intact,
+// and no queued access starts until resume.
+func (r *runner) pause(id int) {
+	s := &r.srv[id]
 	if s.down || s.paused {
 		return
 	}
 	s.paused = true
 	if s.hasCur {
 		s.curHandle.Cancel()
-		s.curRemaining = s.curEnd.Sub(s.eng.Now())
+		s.curRemaining = s.curEnd.Sub(r.eng.Now())
+	}
+	if r.commit != nil {
+		r.commit.Remove(id)
 	}
 }
 
-// resume unfreezes the processing unit; the suspended job finishes its
+// resume unfreezes server id; the suspended access finishes its
 // remaining demand, then the queue drains normally.
-func (s *server) resume() {
+func (r *runner) resume(id int) {
+	s := &r.srv[id]
 	if s.down || !s.paused {
 		return
 	}
 	s.paused = false
+	if r.commit != nil {
+		r.commit.Restore(id)
+	}
 	if s.hasCur {
-		j := s.cur
-		s.curEnd = s.eng.Now().Add(s.curRemaining)
-		s.curHandle = s.eng.After(s.curRemaining, func() { s.complete(j) })
+		a := s.cur
+		s.curEnd = r.eng.Now().Add(s.curRemaining)
+		s.curHandle = r.eng.After(s.curRemaining, a.onService)
 		return
 	}
-	if !s.busy && len(s.pending) > 0 {
-		next := s.pending[0]
-		copy(s.pending, s.pending[1:])
-		s.pending = s.pending[:len(s.pending)-1]
-		s.start(next)
+	if !s.busy {
+		if next := s.pop(); next != nil {
+			r.startService(next)
+		}
 	}
 }
 
-// Run executes one simulated experiment and returns its measurements.
-//
-// One runner serves every run. When the fault schedule is absent or
-// inert (faults.Schedule.Active() == false), none of the failure
-// machinery is allocated and the run takes exactly the paper model's
-// RNG draws — the golden-seed harness (golden_test.go) pins this bit
-// for bit. With an active schedule the same runner adds the failure
-// handling that the prototype client implements: per-server quarantine
-// fed by consecutive silent polls, jittered-backoff poll retries,
-// bounded access retries after broken round trips, and random fallback
-// when all polled servers are quarantined.
-func Run(cfg Config) (*Result, error) {
+// pollCtx is one healthy poll round's state, pooled like access
+// records: its slices and per-slot observation callbacks are reused
+// across rounds, so a poll-policy access schedules only pooled events
+// with pooled callbacks. The deadline event always fires after every
+// scheduled observation (obsAt <= deadline, and equal times resolve by
+// schedule order), so recycling in the decision callback is safe.
+type pollCtx struct {
+	a         *access
+	deadline  sim.Time
+	polled    []int
+	respAt    []sim.Time
+	responses []core.PollResponse
+	obsFns    []func() // obsFns[i] observes polled[i] at the server
+	decideFn  func()
+}
+
+// newPollCtx takes a context from the free-list (or mints one) and
+// ensures it has observation callbacks for d poll slots.
+func (r *runner) newPollCtx(d int) *pollCtx {
+	var c *pollCtx
+	if n := len(r.freePoll); n > 0 {
+		c = r.freePoll[n-1]
+		r.freePoll[n-1] = nil
+		r.freePoll = r.freePoll[:n-1]
+	} else {
+		c = &pollCtx{}
+		c.decideFn = func() { r.healthyDecide(c) }
+	}
+	for i := len(c.obsFns); i < d; i++ {
+		i := i
+		c.obsFns = append(c.obsFns, func() { r.healthyObserve(c, i) })
+	}
+	return c
+}
+
+// healthyPoll is the paper's poll round: every inquiry is answered
+// within its round trip, so the decision closes when the last answer is
+// due (capped uniformly by DefaultPollTimeout and the policy's discard
+// threshold).
+func (r *runner) healthyPoll(a *access) {
+	cfg := &r.cfg
+	set := core.PollSet(r.policyRNG, cfg.Servers, cfg.Policy.PollSize, r.pollDst, r.pollIdent, r.pollSwaps)
+	c := r.newPollCtx(len(set))
+	c.a = a
+	c.polled = append(c.polled[:0], set...)
+	r.res.Messages.PollRequests += int64(len(c.polled))
+	r.rm.PollRequests.Add(int64(len(c.polled)))
+
+	// Sample each poll's round trip up front; the response value
+	// is observed at the server halfway through.
+	c.respAt = c.respAt[:0]
+	var latest sim.Time
+	for range c.polled {
+		rtt := cfg.PollRTT
+		if cfg.PollJitter != nil {
+			rtt += sim.FromSeconds(cfg.PollJitter.Sample(r.jitterRNG))
+		}
+		respAt := a.start.Add(rtt)
+		c.respAt = append(c.respAt, respAt)
+		if respAt > latest {
+			latest = respAt
+		}
+	}
+	deadline := latest
+	if dl := a.start.Add(DefaultPollTimeout); dl < deadline {
+		deadline = dl
+	}
+	if d := cfg.Policy.DiscardAfter; d > 0 {
+		if dl := a.start.Add(sim.FromSeconds(d.Seconds())); dl < deadline {
+			deadline = dl
+		}
+	}
+	c.deadline = deadline
+	c.responses = c.responses[:0]
+	for i, srv := range c.polled {
+		resp := c.respAt[i]
+		if resp > deadline {
+			r.res.Messages.PollsDiscarded++
+			// In the healthy model every server answers; a discarded
+			// inquiry's answer arrives past the deadline, so it is
+			// both a discard and a late answer (prototype semantics).
+			r.rm.PollDiscards.Inc()
+			r.rm.PollLate.Inc()
+			r.rm.InquiriesServed.Inc() // the server did answer, just late
+			r.rm.PollRTTSeconds.Observe(resp.Sub(a.start).Seconds())
+			r.emit("poll.discard", r.clientActor, a.client, int64(srv), int64(a.idx))
+			continue
+		}
+		// Observe the server's load index when the inquiry
+		// reaches it (half the round trip in).
+		obsAt := resp.Add(-sim.Duration((resp.Sub(a.start)) / 2))
+		r.eng.At(obsAt, c.obsFns[i])
+	}
+	r.eng.At(deadline, c.decideFn)
+}
+
+// healthyObserve is poll slot i's observation event: the inquiry
+// reaches the server and reads its load index; the answer lands back
+// at the client at respAt[i] (within the deadline by construction).
+func (r *runner) healthyObserve(c *pollCtx, i int) {
+	srv := c.polled[i]
+	c.responses = append(c.responses, core.PollResponse{
+		Server: srv, Load: r.srv[srv].active,
+	})
+	r.res.Messages.PollResponses++
+	r.rm.PollResponses.Inc()
+	r.rm.InquiriesServed.Inc()
+	r.rm.PollRTTSeconds.Observe(c.respAt[i].Sub(c.a.start).Seconds())
+}
+
+// healthyDecide closes the round at the deadline and dispatches.
+func (r *runner) healthyDecide(c *pollCtx) {
+	a := c.a
+	a.srv = core.PickFromPolls(r.policyRNG, c.responses, c.polled)
+	a.pollDur = c.deadline.Sub(a.start)
+	c.a = nil
+	r.freePoll = append(r.freePoll, c)
+	r.dispatch(a)
+}
+
+// pollRound is the fault-aware poll round over the unquarantined
+// candidates: silent servers (crashed, stalled, or behind a lossy
+// link) never answer, so it either dispatches on the answers it got
+// or (after DefaultPollRetries silent rounds) falls back to random.
+func (r *runner) pollRound(a *access, round int, cands []int) {
+	cfg := &r.cfg
+	roundStart := r.eng.Now()
+	set := core.PollSet(r.policyRNG, len(cands), cfg.Policy.PollSize, r.pollDst, r.pollIdent, r.pollSwaps)
+	polled := make([]int, len(set))
+	for i, ci := range set {
+		polled[i] = cands[ci]
+	}
+	r.res.Messages.PollRequests += int64(len(polled))
+	r.rm.PollRequests.Add(int64(len(polled)))
+
+	deadline := roundStart.Add(DefaultPollTimeout)
+	if da := cfg.Policy.DiscardAfter; da > 0 {
+		if dl := roundStart.Add(sim.FromSeconds(da.Seconds())); dl < deadline {
+			deadline = dl
+		}
+	}
+
+	responses := make([]core.PollResponse, 0, len(polled))
+	answered := make(map[int]bool, len(polled))
+
+	// decide closes the round — either when the last answer arrives
+	// (the client has all it asked for) or at the deadline, whichever
+	// comes first.
+	decided := false
+	decide := func() {
+		if decided {
+			return
+		}
+		decided = true
+		r.res.Messages.PollsDiscarded += int64(len(polled) - len(responses))
+		r.rm.PollDiscards.Add(int64(len(polled) - len(responses)))
+		if n := len(polled) - len(responses); n > 0 {
+			r.emit("poll.discard", r.clientActor, a.client, int64(n), int64(round))
+		}
+		for _, srv := range polled {
+			if answered[srv] {
+				r.ft.noteAnswered(a.client, srv)
+			} else {
+				r.ft.noteSilent(a.client, srv)
+			}
+		}
+		pollDur := r.eng.Now().Sub(a.start)
+		if len(responses) > 0 {
+			a.srv = core.PickFromPolls(r.policyRNG, responses, polled)
+			a.pollDur = pollDur
+			r.dispatch(a)
+			return
+		}
+		if round >= faults.DefaultPollRetries {
+			// Every round was silence: random fallback among the
+			// servers still believed live (or all, if none).
+			fresh := r.ft.candidates(a.client)
+			if fresh == nil {
+				a.srv = r.policyRNG.Intn(cfg.Servers)
+			} else {
+				a.srv = fresh[r.policyRNG.Intn(len(fresh))]
+			}
+			a.pollDur = pollDur
+			r.dispatch(a)
+			return
+		}
+		r.res.Retries++
+		r.rm.Retries.Inc()
+		r.emit("poll.retry", r.clientActor, a.client, int64(round), int64(a.idx))
+		r.eng.After(r.ft.backoff(round), func() {
+			fresh := r.ft.candidates(a.client)
+			if fresh == nil {
+				a.srv = r.policyRNG.Intn(cfg.Servers)
+				a.pollDur = r.eng.Now().Sub(a.start)
+				r.dispatch(a)
+				return
+			}
+			r.pollRound(a, round+1, fresh)
+		})
+	}
+
+	for _, srv := range polled {
+		srv := srv
+		drop, extra := r.ft.pollFault(a.client, srv)
+		if drop {
+			r.rm.InquiriesDropped.Inc()
+			continue // lost datagram: pure silence until the deadline
+		}
+		rtt := cfg.PollRTT + extra
+		if cfg.PollJitter != nil {
+			rtt += sim.FromSeconds(cfg.PollJitter.Sample(r.jitterRNG))
+		}
+		respAt := roundStart.Add(rtt)
+		if respAt > deadline {
+			continue // answer would arrive too late; discarded
+		}
+		// The inquiry reaches the server halfway through the round
+		// trip; a crashed or stalled server never answers it. A live
+		// server's load is observed there, and the answer lands back
+		// at the client at respAt.
+		obsAt := respAt.Add(-sim.Duration((respAt.Sub(roundStart)) / 2))
+		r.eng.At(obsAt, func() {
+			s := &r.srv[srv]
+			if s.down || s.paused {
+				r.rm.InquiriesDropped.Inc()
+				return
+			}
+			load := s.active
+			r.rm.InquiriesServed.Inc()
+			r.eng.At(respAt, func() {
+				if decided {
+					r.rm.PollLate.Inc() // answer landed after the round closed
+					return
+				}
+				responses = append(responses, core.PollResponse{Server: srv, Load: load})
+				answered[srv] = true
+				r.res.Messages.PollResponses++
+				r.rm.PollResponses.Inc()
+				r.rm.PollRTTSeconds.Observe(respAt.Sub(roundStart).Seconds())
+				if len(responses) == len(polled) {
+					decide()
+				}
+			})
+		})
+	}
+
+	r.eng.At(deadline, decide)
+}
+
+// handle runs the policy decision for one access. The healthy branch
+// is the paper's model, draw for draw; the faulted branch filters
+// quarantined servers first.
+func (r *runner) handle(a *access) {
+	cfg := &r.cfg
+	if r.ft == nil {
+		switch cfg.Policy.Kind {
+		case core.Random:
+			a.srv = r.policyRNG.Intn(cfg.Servers)
+			a.pollDur = 0
+			r.dispatch(a)
+
+		case core.RoundRobin:
+			a.srv = r.rrs[a.client].Next(cfg.Servers)
+			a.pollDur = 0
+			r.dispatch(a)
+
+		case core.Ideal:
+			// O(1) via the committed-work index; equal loads go to the
+			// lowest server id (deterministic JSQ).
+			a.srv = r.commit.Min()
+			a.pollDur = 0
+			r.dispatch(a)
+
+		case core.LocalLeast:
+			a.srv = r.local[a.client].Min()
+			a.pollDur = 0
+			r.dispatch(a)
+
+		case core.Broadcast:
+			tbl := r.tables[a.client]
+			srv := tbl.PickLeast(r.policyRNG)
+			if cfg.Policy.LocalCorrection {
+				tbl.Increment(srv)
+			}
+			a.srv = srv
+			a.pollDur = 0
+			r.dispatch(a)
+
+		case core.Poll:
+			r.healthyPoll(a)
+		}
+		return
+	}
+
+	cands := r.ft.candidates(a.client)
+	pickFrom := cands
+	if pickFrom == nil {
+		// Everything quarantined: the full table is all there is.
+		// pollIdent is the identity permutation and every use below
+		// reads it before the next PollSet call can permute it.
+		pickFrom = r.pollIdent[:cfg.Servers]
+	}
+	switch cfg.Policy.Kind {
+	case core.Random:
+		a.srv = pickFrom[r.policyRNG.Intn(len(pickFrom))]
+		a.pollDur = 0
+		r.dispatch(a)
+
+	case core.RoundRobin:
+		a.srv = pickFrom[r.rrs[a.client].Next(len(pickFrom))]
+		a.pollDur = 0
+		r.dispatch(a)
+
+	case core.Ideal:
+		// The omniscient oracle routes around dead and stalled servers
+		// directly (they are detached from the index); quarantine is
+		// the clients' crutch, not the oracle's.
+		best := r.commit.Min()
+		if best == -1 {
+			best = pickFrom[r.policyRNG.Intn(len(pickFrom))]
+		}
+		a.srv = best
+		a.pollDur = 0
+		r.dispatch(a)
+
+	case core.LocalLeast:
+		// Candidates vary per client and per access (quarantine), so
+		// this stays a scan over the candidate set, reservoir
+		// tie-breaking like core.PickLeast. Fault scenarios run at
+		// test scale; the 10k-server hot path is the healthy branch.
+		li := r.local[a.client]
+		loads := make([]int, len(pickFrom))
+		for i, srv := range pickFrom {
+			loads[i] = li.Load(srv)
+		}
+		a.srv = pickFrom[core.PickLeast(r.policyRNG, loads)]
+		a.pollDur = 0
+		r.dispatch(a)
+
+	case core.Poll:
+		if cands == nil {
+			// All quarantined: skip the pointless poll, go random.
+			a.srv = r.policyRNG.Intn(cfg.Servers)
+			a.pollDur = 0
+			r.dispatch(a)
+			return
+		}
+		r.pollRound(a, 0, cands)
+	}
+}
+
+// newRunner validates cfg and builds the run: engine, RNG streams,
+// server state, fault machinery, policy state, and the first arrival.
+// The construction order (and hence sequence-number and RNG-draw
+// order) is part of the golden contract.
+func newRunner(cfg Config) (*runner, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -389,62 +1002,60 @@ func Run(cfg Config) (*Result, error) {
 	policyRNG := master.Split()
 	jitterRNG := master.Split()
 
-	res := &Result{
-		Config:   cfg,
-		Response: stats.NewSummary(true),
-		PollTime: stats.NewSummary(true),
+	r := &runner{
+		cfg: cfg,
+		eng: eng,
+		res: &Result{
+			Config:   cfg,
+			Response: stats.NewSummary(true),
+			PollTime: stats.NewSummary(true),
+		},
+		policyRNG: policyRNG,
+		jitterRNG: jitterRNG,
+		warmup:    int(float64(cfg.Accesses) * cfg.WarmupFrac),
 	}
 
 	// Observability. The catalog always exists (a private registry when
-	// the caller supplied none) so instrumentation below is branch-free;
-	// it schedules no events and draws no randomness, keeping seeded
-	// runs bit-identical with or without a caller registry.
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = obs.NewRegistry()
+	// the caller supplied none) so instrumentation is branch-free; it
+	// schedules no events and draws no randomness, keeping seeded runs
+	// bit-identical with or without a caller registry.
+	r.reg = cfg.Metrics
+	if r.reg == nil {
+		r.reg = obs.NewRegistry()
 	}
-	rm := obs.NewRunMetrics(reg)
-	tr := cfg.Trace
-	var clientActor, serverActor []string
-	if tr != nil {
-		clientActor = make([]string, cfg.Clients)
-		for i := range clientActor {
-			clientActor[i] = "client:" + strconv.Itoa(i)
+	r.rm = obs.NewRunMetrics(r.reg)
+	r.tr = cfg.Trace
+	if r.tr != nil {
+		r.clientActor = make([]string, cfg.Clients)
+		for i := range r.clientActor {
+			r.clientActor[i] = "client:" + strconv.Itoa(i)
 		}
-		serverActor = make([]string, cfg.Servers)
-		for i := range serverActor {
-			serverActor[i] = "server:" + strconv.Itoa(i)
-		}
-	}
-	// emit records one trace event; actors is clientActor or serverActor
-	// (indexed lazily so the nil-trace path never touches them).
-	emit := func(name string, actors []string, idx int, a, b int64) {
-		if tr != nil {
-			tr.Emit(eng.Now().Seconds(), name, actors[idx], a, b)
+		r.serverActor = make([]string, cfg.Servers)
+		for i := range r.serverActor {
+			r.serverActor[i] = "server:" + strconv.Itoa(i)
 		}
 	}
 
-	servers := make([]*server, cfg.Servers)
-	for i := range servers {
-		speed := 1.0
+	r.srv = make([]serverState, cfg.Servers)
+	for i := range r.srv {
+		s := &r.srv[i]
+		s.speed = 1.0
 		if cfg.SpeedFactors != nil {
-			speed = cfg.SpeedFactors[i]
+			s.speed = cfg.SpeedFactors[i]
 		}
-		servers[i] = &server{eng: eng, rm: rm, speed: speed}
 		if cfg.RecordQueueSeries {
-			servers[i].series = &QSeries{}
+			s.series = &QSeries{}
 		}
-		servers[i].record()
+		r.record(i)
 	}
 
 	// Fault machinery, allocated only for an active schedule: the
 	// healthy path pays nothing and draws nothing extra.
-	var ft *clientFaults
 	if cfg.Faults.Active() {
-		ft = newClientFaults(eng, cfg.Faults, cfg.Clients, cfg.Servers)
-		ft.onQuarantine = func(client, srv int) {
-			rm.Quarantines.Inc()
-			emit("client.quarantine", clientActor, client, int64(srv), 0)
+		r.ft = newClientFaults(eng, cfg.Faults, cfg.Clients, cfg.Servers)
+		r.ft.onQuarantine = func(client, srv int) {
+			r.rm.Quarantines.Inc()
+			r.emit("client.quarantine", r.clientActor, client, int64(srv), 0)
 		}
 		// Replay node events on the simulated clock.
 		for _, ev := range cfg.Faults.Sorted() {
@@ -453,42 +1064,46 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			eng.At(sim.Time(sim.FromSeconds(ev.At.Seconds())), func() {
-				switch s := servers[ev.Node]; ev.Kind {
+				switch ev.Kind {
 				case faults.Crash:
-					s.crash()
-					emit("server.crash", serverActor, ev.Node, 0, 0)
+					r.crash(ev.Node)
+					r.emit("server.crash", r.serverActor, ev.Node, 0, 0)
 				case faults.Pause:
-					s.pause()
-					emit("server.pause", serverActor, ev.Node, 0, 0)
+					r.pause(ev.Node)
+					r.emit("server.pause", r.serverActor, ev.Node, 0, 0)
 				case faults.Resume:
-					s.resume()
-					emit("server.resume", serverActor, ev.Node, 0, 0)
+					r.resume(ev.Node)
+					r.emit("server.resume", r.serverActor, ev.Node, 0, 0)
 				}
 			})
 		}
 	}
 
-	// Per-client state.
-	tables := make([]*core.LoadTable, cfg.Clients)
-	rrs := make([]core.RoundRobinState, cfg.Clients)
+	// Per-client policy state.
+	r.rrs = make([]core.RoundRobinState, cfg.Clients)
 	if cfg.Policy.Kind == core.Broadcast {
-		for i := range tables {
-			tables[i] = core.NewLoadTable(cfg.Servers)
+		r.tables = make([]*core.LoadTable, cfg.Clients)
+		for i := range r.tables {
+			r.tables[i] = core.NewLoadTable(cfg.Servers)
 		}
 	}
-	// Per-client outstanding-access counts (LocalLeast).
-	var outstanding [][]int
 	if cfg.Policy.Kind == core.LocalLeast {
-		outstanding = make([][]int, cfg.Clients)
-		for i := range outstanding {
-			outstanding[i] = make([]int, cfg.Servers)
+		r.local = make([]*core.LoadIndex, cfg.Clients)
+		for i := range r.local {
+			r.local[i] = core.NewLoadIndex(cfg.Servers)
 		}
 	}
+	if cfg.Policy.Kind == core.Ideal {
+		r.commit = core.NewLoadIndex(cfg.Servers)
+	}
+	r.pollIdent = core.Identity(cfg.Servers)
+	r.pollSwaps = make([]int, cfg.Servers)
+	r.pollDst = make([]int, cfg.Servers)
 
 	// Broadcast agents.
 	if cfg.Policy.Kind == core.Broadcast {
 		mean := sim.FromSeconds(cfg.Policy.BroadcastInterval.Seconds())
-		for id := range servers {
+		for id := range r.srv {
 			id := id
 			interval := func() sim.Duration {
 				if cfg.Policy.BroadcastFixed {
@@ -499,423 +1114,63 @@ func Run(cfg Config) (*Result, error) {
 				return sim.Duration(float64(mean) * f)
 			}
 			eng.Every(interval, func() {
-				res.Messages.Broadcasts++
-				load := servers[id].active
+				r.res.Messages.Broadcasts++
+				load := r.srv[id].active
 				eng.After(cfg.BroadcastDelay, func() {
-					for _, tbl := range tables {
+					for _, tbl := range r.tables {
 						tbl.Update(id, load)
-						res.Messages.BroadcastDeliveries++
+						r.res.Messages.BroadcastDeliveries++
 					}
 				})
 			})
 		}
 	}
 
-	completed, lost := 0, 0
-	warmup := int(float64(cfg.Accesses) * cfg.WarmupFrac)
-	finish := func() {
-		if completed+lost == cfg.Accesses {
-			eng.Stop()
-		}
-	}
+	// Arrivals: reserve the whole trace's sequence band, then chain
+	// arrival events lazily. Accesses are assigned to clients
+	// round-robin, mirroring the paper's multiple client nodes sharing
+	// the workload.
+	r.stream = cfg.Workload.Stream(arrivalRNG.Uint64())
+	r.arrivalBase = eng.ReserveSeqs(uint64(cfg.Accesses))
+	r.scheduleArrival()
+	return r, nil
+}
 
-	var handle func(idx, client, attempt int, start sim.Time, service sim.Duration)
-
-	// dispatch sends the access to srv and records its response time
-	// when the reply returns to the client. Under faults, a broken round
-	// trip (srv crashed before completing it) makes the client
-	// quarantine srv and re-run server selection, up to
-	// DefaultAccessRetries times.
-	dispatch := func(idx, client, srv, attempt int, start sim.Time, service, pollDur sim.Duration) {
-		res.Messages.Dispatches++
-		rm.Dispatches.Inc()
-		emit("access.dispatch", clientActor, client, int64(srv), int64(idx))
-		servers[srv].committed++
-		if outstanding != nil {
-			outstanding[client][srv]++
-		}
-		settle := func() {
-			servers[srv].committed--
-			if outstanding != nil {
-				outstanding[client][srv]--
-			}
-		}
-		j := job{service: service, done: func() {
-			eng.After(cfg.ServiceNetDelay, func() {
-				settle()
-				completed++
-				rm.Completions.Inc()
-				rm.ResponseSeconds.Observe(eng.Now().Sub(start).Seconds())
-				emit("access.complete", clientActor, client, int64(srv), int64(idx))
-				if idx >= warmup {
-					res.Response.Add(eng.Now().Sub(start).Seconds())
-					if cfg.Policy.Kind == core.Poll {
-						res.PollTime.Add(pollDur.Seconds())
-					}
-				}
-				if cfg.Policy.Kind == core.Poll {
-					rm.PollWaitSeconds.Observe(pollDur.Seconds())
-				}
-				finish()
-			})
-		}}
-		if ft != nil {
-			j.fail = func() {
-				// The client sees the connection break a net delay
-				// later, quarantines the server, and retries.
-				eng.After(cfg.ServiceNetDelay, func() {
-					settle()
-					ft.quarantine(client, srv)
-					if attempt >= faults.DefaultAccessRetries {
-						lost++
-						emit("access.lost", clientActor, client, int64(srv), int64(idx))
-						finish()
-						return
-					}
-					res.Retries++
-					rm.Retries.Inc()
-					emit("access.retry", clientActor, client, int64(srv), int64(attempt))
-					eng.After(ft.backoff(attempt), func() {
-						handle(idx, client, attempt+1, start, service)
-					})
-				})
-			}
-		}
-		eng.After(cfg.ServiceNetDelay, func() { servers[srv].arrive(j) })
-	}
-
-	pollScratch := make([]int, cfg.Servers)
-	pollDst := make([]int, cfg.Servers)
-
-	// healthyPoll is the paper's poll round: every inquiry is answered
-	// within its round trip, so the decision closes when the last
-	// answer is due (capped uniformly by DefaultPollTimeout and the
-	// policy's discard threshold).
-	healthyPoll := func(idx, client int, start sim.Time, service sim.Duration) {
-		set := core.PollSet(policyRNG, cfg.Servers, cfg.Policy.PollSize, pollDst, pollScratch)
-		polled := append([]int(nil), set...)
-		res.Messages.PollRequests += int64(len(polled))
-		rm.PollRequests.Add(int64(len(polled)))
-
-		// Sample each poll's round trip up front; the response value
-		// is observed at the server halfway through.
-		type pendingPoll struct {
-			srv  int
-			resp sim.Time
-		}
-		polls := make([]pendingPoll, len(polled))
-		var latest sim.Time
-		for i, srv := range polled {
-			rtt := cfg.PollRTT
-			if cfg.PollJitter != nil {
-				rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
-			}
-			respAt := start.Add(rtt)
-			polls[i] = pendingPoll{srv: srv, resp: respAt}
-			if respAt > latest {
-				latest = respAt
-			}
-		}
-		deadline := latest
-		if dl := start.Add(DefaultPollTimeout); dl < deadline {
-			deadline = dl
-		}
-		if d := cfg.Policy.DiscardAfter; d > 0 {
-			if dl := start.Add(sim.FromSeconds(d.Seconds())); dl < deadline {
-				deadline = dl
-			}
-		}
-		responses := make([]core.PollResponse, 0, len(polled))
-		for _, p := range polls {
-			p := p
-			if p.resp > deadline {
-				res.Messages.PollsDiscarded++
-				// In the healthy model every server answers; a discarded
-				// inquiry's answer arrives past the deadline, so it is
-				// both a discard and a late answer (prototype semantics).
-				rm.PollDiscards.Inc()
-				rm.PollLate.Inc()
-				rm.InquiriesServed.Inc() // the server did answer, just late
-				rm.PollRTTSeconds.Observe(p.resp.Sub(start).Seconds())
-				emit("poll.discard", clientActor, client, int64(p.srv), int64(idx))
-				continue
-			}
-			// Observe the server's load index when the inquiry
-			// reaches it (half the round trip in).
-			obsAt := p.resp.Add(-sim.Duration((p.resp.Sub(start)) / 2))
-			eng.At(obsAt, func() {
-				responses = append(responses, core.PollResponse{
-					Server: p.srv, Load: servers[p.srv].active,
-				})
-				res.Messages.PollResponses++
-				rm.PollResponses.Inc()
-				rm.InquiriesServed.Inc()
-				rm.PollRTTSeconds.Observe(p.resp.Sub(start).Seconds())
-			})
-		}
-		eng.At(deadline, func() {
-			srv := core.PickFromPolls(policyRNG, responses, polled)
-			dispatch(idx, client, srv, 0, start, service, deadline.Sub(start))
-		})
-	}
-
-	// pollRound is the fault-aware poll round over the unquarantined
-	// candidates: silent servers (crashed, stalled, or behind a lossy
-	// link) never answer, so it either dispatches on the answers it got
-	// or (after DefaultPollRetries silent rounds) falls back to random.
-	var pollRound func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration)
-	pollRound = func(idx, client, attempt, round int, cands []int, start sim.Time, service sim.Duration) {
-		roundStart := eng.Now()
-		set := core.PollSet(policyRNG, len(cands), cfg.Policy.PollSize, pollDst, pollScratch)
-		polled := make([]int, len(set))
-		for i, ci := range set {
-			polled[i] = cands[ci]
-		}
-		res.Messages.PollRequests += int64(len(polled))
-		rm.PollRequests.Add(int64(len(polled)))
-
-		deadline := roundStart.Add(DefaultPollTimeout)
-		if da := cfg.Policy.DiscardAfter; da > 0 {
-			if dl := roundStart.Add(sim.FromSeconds(da.Seconds())); dl < deadline {
-				deadline = dl
-			}
-		}
-
-		responses := make([]core.PollResponse, 0, len(polled))
-		answered := make(map[int]bool, len(polled))
-
-		// decide closes the round — either when the last answer arrives
-		// (the client has all it asked for) or at the deadline, whichever
-		// comes first.
-		decided := false
-		decide := func() {
-			if decided {
-				return
-			}
-			decided = true
-			res.Messages.PollsDiscarded += int64(len(polled) - len(responses))
-			rm.PollDiscards.Add(int64(len(polled) - len(responses)))
-			if n := len(polled) - len(responses); n > 0 {
-				emit("poll.discard", clientActor, client, int64(n), int64(round))
-			}
-			for _, srv := range polled {
-				if answered[srv] {
-					ft.noteAnswered(client, srv)
-				} else {
-					ft.noteSilent(client, srv)
-				}
-			}
-			pollDur := eng.Now().Sub(start)
-			if len(responses) > 0 {
-				srv := core.PickFromPolls(policyRNG, responses, polled)
-				dispatch(idx, client, srv, attempt, start, service, pollDur)
-				return
-			}
-			if round >= faults.DefaultPollRetries {
-				// Every round was silence: random fallback among the
-				// servers still believed live (or all, if none).
-				fresh := ft.candidates(client)
-				var srv int
-				if fresh == nil {
-					srv = policyRNG.Intn(cfg.Servers)
-				} else {
-					srv = fresh[policyRNG.Intn(len(fresh))]
-				}
-				dispatch(idx, client, srv, attempt, start, service, pollDur)
-				return
-			}
-			res.Retries++
-			rm.Retries.Inc()
-			emit("poll.retry", clientActor, client, int64(round), int64(idx))
-			eng.After(ft.backoff(round), func() {
-				fresh := ft.candidates(client)
-				if fresh == nil {
-					dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, eng.Now().Sub(start))
-					return
-				}
-				pollRound(idx, client, attempt, round+1, fresh, start, service)
-			})
-		}
-
-		for _, srv := range polled {
-			srv := srv
-			drop, extra := ft.pollFault(client, srv)
-			if drop {
-				rm.InquiriesDropped.Inc()
-				continue // lost datagram: pure silence until the deadline
-			}
-			rtt := cfg.PollRTT + extra
-			if cfg.PollJitter != nil {
-				rtt += sim.FromSeconds(cfg.PollJitter.Sample(jitterRNG))
-			}
-			respAt := roundStart.Add(rtt)
-			if respAt > deadline {
-				continue // answer would arrive too late; discarded
-			}
-			// The inquiry reaches the server halfway through the round
-			// trip; a crashed or stalled server never answers it. A live
-			// server's load is observed there, and the answer lands back
-			// at the client at respAt.
-			obsAt := respAt.Add(-sim.Duration((respAt.Sub(roundStart)) / 2))
-			eng.At(obsAt, func() {
-				s := servers[srv]
-				if s.down || s.paused {
-					rm.InquiriesDropped.Inc()
-					return
-				}
-				load := s.active
-				rm.InquiriesServed.Inc()
-				eng.At(respAt, func() {
-					if decided {
-						rm.PollLate.Inc() // answer landed after the round closed
-						return
-					}
-					responses = append(responses, core.PollResponse{Server: srv, Load: load})
-					answered[srv] = true
-					res.Messages.PollResponses++
-					rm.PollResponses.Inc()
-					rm.PollRTTSeconds.Observe(respAt.Sub(roundStart).Seconds())
-					if len(responses) == len(polled) {
-						decide()
-					}
-				})
-			})
-		}
-
-		eng.At(deadline, decide)
-	}
-
-	// handle runs the policy decision for one access. The healthy
-	// branch is the paper's model, draw for draw; the faulted branch
-	// filters quarantined servers first.
-	handle = func(idx, client, attempt int, start sim.Time, service sim.Duration) {
-		if ft == nil {
-			switch cfg.Policy.Kind {
-			case core.Random:
-				dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, 0)
-
-			case core.RoundRobin:
-				dispatch(idx, client, rrs[client].Next(cfg.Servers), attempt, start, service, 0)
-
-			case core.Ideal:
-				// Accurate load indexes acquired free of cost (§2): the
-				// oracle sees committed work, matching the prototype's
-				// centralized manager which increments on assignment.
-				loads := make([]int, cfg.Servers)
-				for i, s := range servers {
-					loads[i] = s.committed
-				}
-				dispatch(idx, client, core.PickLeast(policyRNG, loads), attempt, start, service, 0)
-
-			case core.LocalLeast:
-				dispatch(idx, client, core.PickLeast(policyRNG, outstanding[client]), attempt, start, service, 0)
-
-			case core.Broadcast:
-				tbl := tables[client]
-				srv := tbl.PickLeast(policyRNG)
-				if cfg.Policy.LocalCorrection {
-					tbl.Increment(srv)
-				}
-				dispatch(idx, client, srv, attempt, start, service, 0)
-
-			case core.Poll:
-				healthyPoll(idx, client, start, service)
-			}
-			return
-		}
-
-		cands := ft.candidates(client)
-		pickFrom := cands
-		if pickFrom == nil {
-			// Everything quarantined: the full table is all there is.
-			pickFrom = make([]int, cfg.Servers)
-			for i := range pickFrom {
-				pickFrom[i] = i
-			}
-		}
-		switch cfg.Policy.Kind {
-		case core.Random:
-			dispatch(idx, client, pickFrom[policyRNG.Intn(len(pickFrom))], attempt, start, service, 0)
-
-		case core.RoundRobin:
-			dispatch(idx, client, pickFrom[rrs[client].Next(len(pickFrom))], attempt, start, service, 0)
-
-		case core.Ideal:
-			// The omniscient oracle routes around dead and stalled
-			// servers directly; quarantine is the clients' crutch, not
-			// the oracle's.
-			best, bestLoad := -1, 0
-			ties := 0
-			for i, s := range servers {
-				if s.down || s.paused {
-					continue
-				}
-				switch {
-				case best == -1 || s.committed < bestLoad:
-					best, bestLoad, ties = i, s.committed, 1
-				case s.committed == bestLoad:
-					// Reservoir tie-break, matching core.PickLeast.
-					ties++
-					if policyRNG.Intn(ties) == 0 {
-						best = i
-					}
-				}
-			}
-			if best == -1 {
-				best = pickFrom[policyRNG.Intn(len(pickFrom))]
-			}
-			dispatch(idx, client, best, attempt, start, service, 0)
-
-		case core.LocalLeast:
-			loads := make([]int, len(pickFrom))
-			for i, srv := range pickFrom {
-				loads[i] = outstanding[client][srv]
-			}
-			dispatch(idx, client, pickFrom[core.PickLeast(policyRNG, loads)], attempt, start, service, 0)
-
-		case core.Poll:
-			if cands == nil {
-				// All quarantined: skip the pointless poll, go random.
-				dispatch(idx, client, policyRNG.Intn(cfg.Servers), attempt, start, service, 0)
-				return
-			}
-			pollRound(idx, client, attempt, 0, cands, start, service)
-		}
-	}
-
-	// Generate arrivals. Accesses are assigned to clients round-robin,
-	// mirroring the paper's multiple client nodes sharing the workload.
-	stream := cfg.Workload.Stream(arrivalRNG.Uint64())
-	for i := 0; i < cfg.Accesses; i++ {
-		a := stream.Next()
-		i, client := i, i%cfg.Clients
-		eng.At(sim.Time(sim.FromSeconds(a.Arrival)), func() {
-			handle(i, client, 0, eng.Now(), sim.FromSeconds(a.Service))
-		})
-	}
-
-	eng.Run()
-
-	end := eng.Now().Seconds()
+// collect assembles the Result after the engine has drained.
+func (r *runner) collect() *Result {
+	end := r.eng.Now().Seconds()
+	res := r.res
 	res.SimDuration = end
-	res.ServerUtilization = make([]float64, cfg.Servers)
+	res.EventsFired = r.eng.Fired()
+	res.ServerUtilization = make([]float64, r.cfg.Servers)
 	var qsum float64
-	for i, s := range servers {
+	for i := range r.srv {
+		s := &r.srv[i]
 		if end > 0 {
 			res.ServerUtilization[i] = s.busyTime.Seconds() / end
 		}
 		qsum += s.qavg.Finish(end)
-		if cfg.RecordQueueSeries {
+		if r.cfg.RecordQueueSeries {
 			res.QueueSeries = append(res.QueueSeries, s.series)
 		}
 	}
-	res.MeanQueueLength = qsum / float64(cfg.Servers)
+	res.MeanQueueLength = qsum / float64(r.cfg.Servers)
 	// Accesses stranded on a paused-forever server drain no events, so
 	// the engine exits with them still frozen; they are lost too.
-	res.Lost = int64(cfg.Accesses - completed)
-	rm.Lost.Add(res.Lost)
-	res.Metrics = reg.Snapshot()
-	return res, nil
+	res.Lost = int64(r.cfg.Accesses - r.completed)
+	r.rm.Lost.Add(res.Lost)
+	res.Metrics = r.reg.Snapshot()
+	return res
+}
+
+// Run executes one simulated experiment and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.eng.Run()
+	return r.collect(), nil
 }
 
 // MeanResponse is a convenience accessor: the run's mean response time

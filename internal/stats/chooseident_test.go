@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestChooseIdentityMatchesChoose is the stream-compatibility pin:
+// ChooseIdentity must consume the same random draws and produce the
+// same indices as Choose, and must leave ident as the identity
+// permutation afterwards. Golden-digest stability of the polling
+// policies depends on this equivalence.
+func TestChooseIdentityMatchesChoose(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8, rounds uint8) bool {
+		n := int(nRaw%64) + 1
+		k := int(kRaw)%n + 1
+		r1 := NewRNG(seed)
+		r2 := NewRNG(seed)
+		scratch := make([]int, n)
+		ident := make([]int, n)
+		for i := range ident {
+			ident[i] = i
+		}
+		swaps := make([]int, k)
+		want := make([]int, k)
+		got := make([]int, k)
+		// Repeat to catch state divergence, not just first-call agreement.
+		for rep := 0; rep < int(rounds%4)+1; rep++ {
+			r1.Choose(want, n, scratch)
+			r2.ChooseIdentity(got, n, ident, swaps)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			for i, v := range ident {
+				if v != i {
+					return false
+				}
+			}
+		}
+		return r1.Uint64() == r2.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseIdentityPanics(t *testing.T) {
+	r := NewRNG(1)
+	ident := []int{0, 1, 2}
+	for i, fn := range []func(){
+		func() { r.ChooseIdentity(make([]int, 4), 3, ident, make([]int, 4)) },
+		func() { r.ChooseIdentity(make([]int, 2), 4, ident, make([]int, 2)) },
+		func() { r.ChooseIdentity(make([]int, 2), 3, ident, make([]int, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestChooseIdentityZeroAllocs: the whole point of the ident variant is
+// an allocation- and O(n)-free polling hot path.
+func TestChooseIdentityZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under -race")
+	}
+	r := NewRNG(9)
+	const n = 4096
+	ident := make([]int, n)
+	for i := range ident {
+		ident[i] = i
+	}
+	dst := make([]int, 8)
+	swaps := make([]int, 8)
+	avg := testing.AllocsPerRun(1000, func() {
+		r.ChooseIdentity(dst, n, ident, swaps)
+	})
+	if avg != 0 {
+		t.Errorf("ChooseIdentity allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -85,6 +85,11 @@ type RunResult struct {
 	Lost    int64
 	Retries int64
 
+	// EventsFired counts discrete events the simulator executed for the
+	// run — the unit the simscale throughput benchmark is denominated
+	// in. Zero on the prototype substrate, which has no event loop.
+	EventsFired uint64
+
 	// Metrics is the run's end-of-run snapshot of the shared
 	// obs.RunMetrics catalog. Both substrates emit the same metric name
 	// set, which is what makes their snapshots directly comparable.
@@ -135,6 +140,7 @@ func (Sim) Run(spec RunSpec) (*RunResult, error) {
 		PollsLate:      res.Metrics.Value(obs.MetricPollLate),
 		Lost:           res.Lost,
 		Retries:        res.Retries,
+		EventsFired:    res.EventsFired,
 		Metrics:        res.Metrics,
 	}, nil
 }
