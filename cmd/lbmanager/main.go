@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lbmanager -n 4 [-http :0] [-pprof]
+//	lbmanager -n 4 [-http :0] [-pprof] [-grace 3s]
 //
 // With -http the manager serves its protocol counters at /metrics
 // (refreshed at scrape time from the manager's own state) and, with
@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"finelb/internal/cluster"
 	"finelb/internal/obs"
@@ -29,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for tie-breaking")
 	httpAddr := flag.String("http", "", "serve /metrics (JSON obs snapshot) on this address; empty disables")
 	pprofOn := flag.Bool("pprof", false, "with -http, also expose /debug/pprof/ handlers")
+	grace := flag.Duration("grace", 3*time.Second, "drain window after the first signal: serve until outstanding acquisitions release (second signal exits immediately)")
 	flag.Parse()
 
 	m, err := cluster.StartIdealManager(nil, *n, *seed)
@@ -71,9 +73,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// First signal: graceful drain. Keep answering protocol messages so
+	// clients can release what they hold; exit once the outstanding
+	// count reaches zero, the grace window expires, or a second signal
+	// arrives.
+	fmt.Fprintf(os.Stderr, "lbmanager: draining for up to %v; signal again to exit now\n", *grace)
+	deadline := time.After(*grace)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+drain:
+	for outstanding(m) > 0 {
+		select {
+		case <-sig:
+			break drain
+		case <-deadline:
+			break drain
+		case <-tick.C:
+		}
+	}
+	if left := outstanding(m); left > 0 {
+		fmt.Fprintf(os.Stderr, "lbmanager: exiting with %d acquisition(s) unreleased\n", left)
+	}
 	fmt.Fprintf(os.Stderr, "lbmanager: final counts %v\n", m.Counts())
 	m.Close()
+}
+
+// outstanding sums the manager's per-server outstanding access counts.
+func outstanding(m *cluster.IdealManager) int64 {
+	var sum int64
+	for _, c := range m.Counts() {
+		sum += c
+	}
+	return sum
 }

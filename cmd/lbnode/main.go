@@ -5,7 +5,12 @@
 // Usage:
 //
 //	lbnode [-n 4] [-service translate] [-workers 1] [-spin]
-//	       [-slowprob 0.15] [-seed 1] [-http :0] [-pprof]
+//	       [-slowprob 0.15] [-seed 1] [-http :0] [-pprof] [-grace 3s]
+//
+// The first SIGINT/SIGTERM drains: heartbeats stop, directory entries
+// are withdrawn, and the nodes keep serving for the -grace window so
+// in-flight work completes. A second signal (or the window expiring)
+// shuts down.
 //
 // Output format (stdout), one line per node:
 //
@@ -24,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"finelb/internal/cluster"
 	"finelb/internal/obs"
@@ -39,6 +45,7 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics (JSON obs snapshot) on this address; empty disables")
 	pprofOn := flag.Bool("pprof", false, "with -http, also expose /debug/pprof/ handlers")
 	seed := flag.Uint64("seed", 1, "random seed")
+	grace := flag.Duration("grace", 3*time.Second, "drain window after the first signal (second signal exits immediately)")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -94,11 +101,24 @@ func main() {
 		nodes = append(nodes, node)
 		fmt.Printf("%d %s %s\n", i, node.AccessAddr(), node.LoadAddr())
 	}
-	fmt.Fprintf(os.Stderr, "lbnode: %d node(s) serving %q; Ctrl-C to stop\n", *n, *service)
+	fmt.Fprintf(os.Stderr, "lbnode: %d node(s) serving %q; Ctrl-C to drain, twice to stop\n", *n, *service)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// First signal: graceful drain. Heartbeats stop and directory
+	// entries are withdrawn (remote soft state expires on its TTL), but
+	// every node keeps serving through the grace window so in-flight and
+	// freshly routed work completes. A second signal cuts the window
+	// short.
+	for _, node := range nodes {
+		node.Drain()
+	}
+	fmt.Fprintf(os.Stderr, "lbnode: draining %d node(s) for up to %v; signal again to exit now\n", *n, *grace)
+	select {
+	case <-sig:
+	case <-time.After(*grace):
+	}
 	for _, node := range nodes {
 		node.Close()
 	}

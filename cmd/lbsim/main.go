@@ -5,7 +5,7 @@
 //
 //	lbsim [-workload poisson|medium|fine] [-policy random|rr|poll|broadcast|ideal]
 //	      [-d 2] [-discard 0] [-interval 100ms] [-servers 16] [-clients 6]
-//	      [-load 0.9] [-accesses 100000] [-seed 1]
+//	      [-load 0.9] [-accesses 100000] [-speed-factors SPEC] [-seed 1]
 //
 // Example (the paper's headline cell):
 //
@@ -36,6 +36,7 @@ func main() {
 	accesses := flag.Int("accesses", 100000, "service accesses to simulate")
 	burst := flag.Float64("burst", 1, "arrival burst intensity (1 = none; Markov-modulated bursts)")
 	fastFrac := flag.Float64("fastfrac", 0, "fraction of servers running 3x faster (heterogeneous cluster)")
+	speedSpec := flag.String("speed-factors", "", `explicit per-server speeds, e.g. "4x3.25,12x0.25" (count x factor groups; overrides -fastfrac)`)
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -77,8 +78,12 @@ func main() {
 	if *burst > 1 {
 		scaled = scaled.WithBurstyArrivals(*burst, 50)
 	}
-	var speeds []float64
-	if *fastFrac > 0 {
+	speeds, err := simcluster.ParseSpeedFactors(*speedSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+	if speeds == nil && *fastFrac > 0 {
 		speeds = make([]float64, *servers)
 		nFast := int(*fastFrac * float64(*servers))
 		for i := range speeds {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	repro [-quick] [-seed N] [-v] [-transport net|mem] [-servers N] [-accesses N]
-//	      [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list
+//	      [-speed-factors SPEC] [-format text|json|csv] [-out FILE] [-bench DIR]
+//	      [-metrics FILE] <experiment>... | all | list
 //
 // Examples:
 //
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"finelb/internal/experiments"
+	"finelb/internal/simcluster"
 )
 
 func main() {
@@ -48,10 +50,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	servers := fs.Int("servers", 0, "override cluster size for scale-aware experiments (simscale); 0 = experiment default")
 	accesses := fs.Int("accesses", 0, "override access count for scale-aware experiments (simscale); 0 = experiment default")
+	speedSpec := fs.String("speed-factors", "", `override heterogeneous server speeds for speed-aware experiments (hetchurn), e.g. "4x3.25,12x0.25"`)
 	benchDir := fs.String("bench", "", "also write one BENCH_<id>.json record per experiment into this directory")
 	metricsOut := fs.String("metrics", "", "write every cell's obs metrics snapshot to this file as a JSON array")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-servers N] [-accesses N] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "usage: repro [-quick] [-seed N] [-v] [-transport net|mem] [-servers N] [-accesses N] [-speed-factors SPEC] [-format text|json|csv] [-out FILE] [-bench DIR] [-metrics FILE] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			desc, _ := experiments.Describe(id)
 			fmt.Fprintf(stderr, "  %-14s %s\n", id, desc)
@@ -106,9 +109,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dst = f
 	}
 
+	speedFactors, err := simcluster.ParseSpeedFactors(*speedSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "repro: -speed-factors: %v\n", err)
+		return 2
+	}
+
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Transport: *transportName,
 		Servers: *servers, Accesses: *accesses,
+		SpeedFactors: speedFactors,
 	}
 	if *verbose {
 		opts.Progress = stderr

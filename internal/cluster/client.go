@@ -499,16 +499,34 @@ func (c *Client) accessOnce(serviceUs uint32, payload []byte, info *AccessInfo) 
 	case core.Ideal:
 		// The manager's view is the full table; quarantine is not
 		// consulted (the manager is the failure authority for Ideal).
+		// The manager assigns node ids, which on an elastic pool are a
+		// sparse subset of the mapping table — resolve by NodeID, not by
+		// position.
 		idx, err := c.mgr.acquire()
 		if err != nil {
 			return fmt.Errorf("cluster: manager acquire: %w", err)
 		}
-		if int(idx) >= len(eps) {
+		found := false
+		lookup := func(eps []Endpoint) {
+			for _, ep := range eps {
+				if ep.NodeID == int(idx) {
+					target, found = ep, true
+					return
+				}
+			}
+		}
+		lookup(eps)
+		if !found {
+			// A just-joined server can be assigned before this client's
+			// periodic refresh has seen it; refresh once before giving up.
+			c.Refresh()
+			lookup(c.Endpoints())
+		}
+		if !found {
 			// Mapping table behind the manager's view; release and fail.
 			_ = c.mgr.release(idx)
-			return fmt.Errorf("cluster: manager index %d beyond %d endpoints", idx, len(eps))
+			return fmt.Errorf("cluster: manager assigned node %d not in mapping table (%d endpoints)", idx, len(eps))
 		}
-		target = eps[idx]
 		releaseIdx, release = idx, true
 
 	case core.LocalLeast:

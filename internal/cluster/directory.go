@@ -88,6 +88,16 @@ func (d *Directory) Publish(ep Endpoint) {
 	}
 }
 
+// Withdraw removes a node's entry for a service immediately, without
+// waiting for soft-state expiry. A draining node withdraws itself so
+// clients stop routing to it at their next refresh instead of one TTL
+// later; publishing again re-registers it.
+func (d *Directory) Withdraw(nodeID int, service string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, dirKey{nodeID, service})
+}
+
 // Lookup returns the live endpoints offering the service and partition,
 // sorted by node id for stable ordering. Expired entries are pruned.
 func (d *Directory) Lookup(service string, partition uint32) []Endpoint {

@@ -8,6 +8,7 @@ import (
 
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/membership"
 	"finelb/internal/obs"
 	"finelb/internal/stats"
 	"finelb/internal/transport"
@@ -55,6 +56,21 @@ type ExperimentConfig struct {
 	// the first arrival, scaled by TimeScale, and link faults are wired
 	// into every client. See internal/faults.
 	Faults *faults.Schedule
+
+	// Membership, when active, replays the elastic-membership schedule
+	// (internal/membership) on the wall clock from the first arrival,
+	// scaled by TimeScale exactly like Faults: joins start (or
+	// re-publish) real nodes, drains withdraw them from the directory
+	// while they keep serving, leaves retire them. Membership and Faults
+	// cannot combine in one run — planned churn and failure injection
+	// answer different questions, and mixing them makes both replays
+	// ambiguous.
+	Membership *membership.Schedule
+	// Autoscaler, when active, runs the load-threshold autoscaler on the
+	// scaled wall clock: the routable pool's mean load index is sampled
+	// every Interval and the policy's deltas are applied as
+	// join/drain/leave transitions. Combines freely with Membership.
+	Autoscaler *membership.AutoscalerConfig
 	// DirTTL overrides the directory's soft-state TTL (default
 	// DefaultTTL); fault runs use a short TTL so crashed nodes expire
 	// quickly. Nodes republish at DirTTL/4.
@@ -115,6 +131,12 @@ type ExperimentResult struct {
 	NodeStats []NodeStats
 	WallTime  time.Duration
 
+	// Elastic membership (zero churn on fixed-pool runs, where
+	// FinalPool = PeakPool = Servers): pool transitions applied and the
+	// routable pool size at the end of the run and at its peak.
+	Joins, Drains, Leaves int64
+	FinalPool, PeakPool   int
+
 	// Metrics is the end-of-run snapshot of the obs.RunMetrics catalog,
 	// taken after the last access settles and before teardown.
 	Metrics *obs.Snapshot
@@ -146,6 +168,20 @@ type Cluster struct {
 	// catalog every node and client of this cluster records into.
 	Registry *obs.Registry
 	Metrics  *obs.RunMetrics
+
+	// Elastic membership state (elastic.go). newNode is the template
+	// Join starts mid-run nodes from; mm is non-nil only for elastic
+	// runs so fixed-pool metric snapshots stay bit-identical.
+	newNode func(id int) NodeConfig
+	mm      *obs.MembershipMetrics
+
+	churnMu               sync.Mutex
+	routable              []bool
+	left                  []bool
+	retiring              []bool
+	pool                  int
+	peakPool              int
+	joins, drains, leaves int64
 }
 
 // StartCluster boots servers and clients per cfg and waits until every
@@ -154,6 +190,20 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	if err := cfg.Membership.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Autoscaler.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.elastic() {
+		if cfg.Faults.Active() {
+			return nil, fmt.Errorf("cluster: Membership and Faults cannot combine in one run")
+		}
+		if cfg.Autoscaler.Active() && cfg.Autoscaler.Max < cfg.Servers {
+			return nil, fmt.Errorf("cluster: autoscaler max pool %d below initial %d servers", cfg.Autoscaler.Max, cfg.Servers)
+		}
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -189,9 +239,11 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 		slowDist = stats.Scaled{D: slowDist, Factor: cfg.TimeScale}
 	}
 
-	for i := 0; i < cfg.Servers; i++ {
-		n, err := StartNode(NodeConfig{
-			ID:              i,
+	// The same template serves initial nodes and mid-run joins, so an
+	// elastic pool's newcomers are indistinguishable from the seed set.
+	cl.newNode = func(id int) NodeConfig {
+		return NodeConfig{
+			ID:              id,
 			Service:         cfg.ServiceName,
 			Transport:       cfg.Transport,
 			Workers:         cfg.Workers,
@@ -202,12 +254,25 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 			SlowDist:        slowDist,
 			DropProb:        cfg.DropProb,
 			Metrics:         cl.Metrics,
-			Seed:            cfg.Seed + uint64(i)*7919,
-		})
+			Seed:            cfg.Seed + uint64(id)*7919,
+		}
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		n, err := StartNode(cl.newNode(i))
 		if err != nil {
 			return fail(err)
 		}
 		cl.Nodes = append(cl.Nodes, n)
+		cl.routable = append(cl.routable, true)
+		cl.left = append(cl.left, false)
+		cl.retiring = append(cl.retiring, false)
+	}
+	cl.pool, cl.peakPool = cfg.Servers, cfg.Servers
+	if cfg.elastic() {
+		// Membership metrics register only for elastic runs, so
+		// fixed-pool snapshot digests stay bit-identical.
+		cl.mm = obs.NewMembershipMetrics(reg)
+		cl.mm.Pool.Set(int64(cfg.Servers))
 	}
 
 	mgrAddr := ""
@@ -253,13 +318,16 @@ func StartCluster(cfg ExperimentConfig) (*Cluster, error) {
 	return cl, nil
 }
 
-// Close shuts everything down.
+// Close shuts everything down. Elastic runs can leave nil placeholders
+// in Nodes for ids the run never joined.
 func (cl *Cluster) Close() {
 	for _, c := range cl.Clients {
 		c.Close()
 	}
 	for _, n := range cl.Nodes {
-		n.Close()
+		if n != nil {
+			n.Close()
+		}
 	}
 	if cl.Manager != nil {
 		cl.Manager.Close()
@@ -288,6 +356,25 @@ func (cfg ExperimentConfig) withDefaults() ExperimentConfig {
 	return cfg
 }
 
+// elastic reports whether the run's server pool can change mid-run.
+func (cfg ExperimentConfig) elastic() bool {
+	return cfg.Membership.Active() || cfg.Autoscaler.Active()
+}
+
+// maxPool returns the largest node id space the run can touch: the
+// initial pool, every id the schedule names, and the autoscaler's
+// ceiling.
+func (cfg ExperimentConfig) maxPool() int {
+	n := cfg.Servers
+	if m := cfg.Membership.MaxNode() + 1; m > n {
+		n = m
+	}
+	if cfg.Autoscaler.Active() && cfg.Autoscaler.Max > n {
+		n = cfg.Autoscaler.Max
+	}
+	return n
+}
+
 // RunExperiment boots a cluster, replays the workload open-loop, and
 // returns the measurements.
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
@@ -314,7 +401,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		PollTime: stats.NewSummary(true),
 		PollRTT:  stats.NewSummary(true),
 	}
-	res.PerServer = make([]int64, cfg.Servers)
+	res.PerServer = make([]int64, cfg.maxPool())
 
 	// Pre-generate the access schedule so generation cost is off the
 	// timed path.
@@ -358,6 +445,55 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		defer player.Stop()
 	}
 
+	if cfg.Membership.Active() {
+		mplayer := cfg.Membership.PlayAt(start, cfg.TimeScale, func(ev membership.Event) {
+			changed := false
+			switch ev.Kind {
+			case membership.Join:
+				changed = cl.Join(ev.Node)
+			case membership.Drain:
+				changed = cl.Drain(ev.Node)
+			case membership.Leave:
+				changed = cl.Leave(ev.Node)
+			}
+			if changed {
+				emit("server."+ev.Kind.String(), fmt.Sprintf("server:%d", ev.Node), int64(cl.Pool()), 0)
+			}
+		})
+		defer mplayer.Stop()
+	}
+
+	if cfg.Autoscaler.Active() {
+		as := membership.NewAutoscaler(cfg.Autoscaler)
+		// The sampling interval lives on the same clock as arrivals and
+		// service times; cooldowns are evaluated in spec time, so the
+		// elapsed wall time is unscaled back before each evaluation.
+		interval := time.Duration(float64(as.Config().Interval) * cfg.TimeScale)
+		asDone := make(chan struct{})
+		var asWG sync.WaitGroup
+		asWG.Add(1)
+		go func() {
+			defer asWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-asDone:
+					return
+				case <-t.C:
+					now := time.Duration(float64(time.Since(start)) / cfg.TimeScale)
+					cl.Autoscale(as, now, func(kind string, id, pool int) {
+						emit(kind, fmt.Sprintf("server:%d", id), int64(pool), 0)
+					})
+				}
+			}
+		}()
+		defer func() {
+			close(asDone)
+			asWG.Wait()
+		}()
+	}
+
 	for i, a := range trace {
 		i, a := i, a
 		client := cl.Clients[i%len(cl.Clients)]
@@ -386,6 +522,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			if cfg.Policy.Kind == core.Poll {
 				cl.Metrics.PollWaitSeconds.Observe(info.PollTime.Seconds())
 			}
+			for info.Server >= len(res.PerServer) {
+				res.PerServer = append(res.PerServer, 0)
+			}
 			res.PerServer[info.Server]++
 			res.Polled += int64(info.Polled)
 			res.Answered += int64(info.Answered)
@@ -409,8 +548,13 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		res.LateAnswers += c.LateAnswers()
 	}
 	for _, n := range cl.Nodes {
+		if n == nil {
+			res.NodeStats = append(res.NodeStats, NodeStats{})
+			continue
+		}
 		res.NodeStats = append(res.NodeStats, n.Stats())
 	}
+	res.Joins, res.Drains, res.Leaves, res.FinalPool, res.PeakPool = cl.ChurnStats()
 	// Snapshot after the last access settles and before teardown, so
 	// cross-metric invariants (gauges back at zero on clean runs) hold.
 	res.Metrics = cl.Registry.Snapshot()

@@ -23,6 +23,7 @@ type IdealManager struct {
 
 	mu       sync.Mutex
 	counts   []int64
+	active   []bool // acquire only assigns active (routable) servers
 	rng      *stats.RNG
 	acquires int64
 	releases int64
@@ -56,9 +57,13 @@ func StartIdealManager(tr transport.Transport, n int, seed uint64) (*IdealManage
 	m := &IdealManager{
 		ln:     ln,
 		counts: make([]int64, n),
+		active: make([]bool, n),
 		rng:    stats.NewRNG(seed ^ 0xdeadbeefcafef00d),
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
+	}
+	for i := range m.active {
+		m.active[i] = true
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -138,20 +143,65 @@ func (m *IdealManager) acceptLoop() {
 	}
 }
 
-// acquire picks the least-loaded server (uniform tie-break) and
-// increments its count.
+// EnsureServers grows the manager's view to hold servers [0, n). New
+// slots start inactive — a joining server re-registers through
+// SetActive — and an already-large view is untouched, so counts (the
+// in-flight work of servers that drained with work outstanding) are
+// never reset by churn.
+func (m *IdealManager) EnsureServers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.counts) < n {
+		m.counts = append(m.counts, 0)
+		m.active = append(m.active, false)
+	}
+}
+
+// SetActive marks whether acquire may assign server idx. Draining a
+// server deactivates it while its count keeps decrementing as clients
+// release completed accesses; re-joining reactivates it with whatever
+// count it still carries.
+func (m *IdealManager) SetActive(idx int, active bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= 0 && idx < len(m.active) {
+		m.active[idx] = active
+	}
+}
+
+// acquire picks the least-loaded active server (uniform tie-break) and
+// increments its count. If every server is inactive — transiently
+// possible mid-churn — it falls back to the full set rather than fail
+// the access.
 func (m *IdealManager) acquire() uint32 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	best, ties := 0, 1
-	for i := 1; i < len(m.counts); i++ {
+	best, ties := -1, 0
+	for i := 0; i < len(m.counts); i++ {
+		if !m.active[i] {
+			continue
+		}
 		switch {
-		case m.counts[i] < m.counts[best]:
+		case best < 0 || m.counts[i] < m.counts[best]:
 			best, ties = i, 1
 		case m.counts[i] == m.counts[best]:
 			ties++
 			if m.rng.Intn(ties) == 0 {
 				best = i
+			}
+		}
+	}
+	if best < 0 {
+		best, ties = 0, 1
+		for i := 1; i < len(m.counts); i++ {
+			switch {
+			case m.counts[i] < m.counts[best]:
+				best, ties = i, 1
+			case m.counts[i] == m.counts[best]:
+				ties++
+				if m.rng.Intn(ties) == 0 {
+					best = i
+				}
 			}
 		}
 	}

@@ -130,6 +130,13 @@ type Node struct {
 	pauseMu sync.Mutex
 	unpause chan struct{} // closed when not paused
 
+	// Drain support (elastic membership): a draining node stops
+	// publishing heartbeats and withdraws its directory entries, so new
+	// work stops arriving, but keeps serving everything already queued
+	// and everything still routed to it by stale mapping tables — the
+	// graceful half of a scale-down, as opposed to Pause's stall.
+	draining atomic.Bool
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -300,13 +307,42 @@ func (n *Node) Resume() {
 	n.paused.Store(false)
 	close(n.unpause)
 	n.pauseMu.Unlock()
-	if n.cfg.Directory != nil || n.cfg.RemoteDir != nil {
+	if (n.cfg.Directory != nil || n.cfg.RemoteDir != nil) && !n.draining.Load() {
 		n.publish()
 	}
 }
 
 // Paused reports whether the node is currently paused.
 func (n *Node) Paused() bool { return n.paused.Load() }
+
+// Drain withdraws the node from routing (elastic membership): it stops
+// publishing heartbeats and deletes its in-process directory entry so
+// clients drop it at their next refresh, yet keeps accepting and
+// serving requests — queued work and stragglers from stale mapping
+// tables complete normally. Remote directories expire the entry at the
+// soft-state TTL once heartbeats stop. Rejoin reverses a drain.
+func (n *Node) Drain() {
+	if n.draining.Swap(true) {
+		return
+	}
+	if n.cfg.Directory != nil {
+		n.cfg.Directory.Withdraw(n.cfg.ID, n.cfg.Service)
+	}
+}
+
+// Rejoin lifts a Drain: the node immediately re-publishes its endpoint
+// so clients rediscover it without waiting a full publish period.
+func (n *Node) Rejoin() {
+	if !n.draining.Swap(false) {
+		return
+	}
+	if n.cfg.Directory != nil || n.cfg.RemoteDir != nil {
+		n.publish()
+	}
+}
+
+// Draining reports whether the node is currently drained.
+func (n *Node) Draining() bool { return n.draining.Load() }
 
 // pauseGate blocks while the node is paused. It returns false when the
 // node shut down while waiting.
@@ -363,7 +399,7 @@ func (n *Node) publishLoop() {
 		case <-n.done:
 			return
 		case <-t.C:
-			if !n.paused.Load() {
+			if !n.paused.Load() && !n.draining.Load() {
 				n.publish()
 			}
 		}

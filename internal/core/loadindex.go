@@ -28,13 +28,24 @@ type LoadIndex struct {
 // NewLoadIndex returns an index over ids 0..n-1, all attached with
 // load 0.
 func NewLoadIndex(n int) *LoadIndex {
+	return NewLoadIndexCap(n, n)
+}
+
+// NewLoadIndexCap is NewLoadIndex with room reserved for ids up to
+// capacity: Extend calls that stay within it are allocation-free, which
+// is what lets elastic membership grow the pool without perturbing the
+// zero-alloc dispatch path.
+func NewLoadIndexCap(n, capacity int) *LoadIndex {
 	if n <= 0 {
-		panic(fmt.Sprintf("core: NewLoadIndex(%d)", n))
+		panic(fmt.Sprintf("core: NewLoadIndexCap(%d, %d)", n, capacity))
+	}
+	if capacity < n {
+		capacity = n
 	}
 	x := &LoadIndex{
-		load: make([]int32, n),
-		heap: make([]int32, n),
-		pos:  make([]int32, n),
+		load: make([]int32, n, capacity),
+		heap: make([]int32, n, capacity),
+		pos:  make([]int32, n, capacity),
 	}
 	// All loads equal: the identity assignment is already a valid heap.
 	for i := range x.heap {
@@ -42,6 +53,18 @@ func NewLoadIndex(n int) *LoadIndex {
 		x.pos[i] = int32(i)
 	}
 	return x
+}
+
+// Extend grows the id space to n. New ids start detached with load 0 —
+// a joining server becomes routable only once Restore attaches it, so
+// Extend itself never changes Min. Extending to the current size or
+// smaller is a no-op; within the reserved capacity Extend does not
+// allocate.
+func (x *LoadIndex) Extend(n int) {
+	for len(x.load) < n {
+		x.load = append(x.load, 0)
+		x.pos = append(x.pos, -1)
+	}
 }
 
 // Len returns the number of attached members.
@@ -118,8 +141,7 @@ func (x *LoadIndex) Restore(id int) {
 		return
 	}
 	i := len(x.heap)
-	x.heap = x.heap[:i+1]
-	x.heap[i] = int32(id)
+	x.heap = append(x.heap, int32(id))
 	x.pos[id] = int32(i)
 	x.up(i)
 }

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLoadIndexExtend covers the elastic-membership growth path: new
+// ids join detached, become routable only on Restore, and behave like
+// original members afterwards.
+func TestLoadIndexExtend(t *testing.T) {
+	x := NewLoadIndexCap(2, 8)
+	x.Add(0, 1)
+	x.Add(1, 2)
+	x.Extend(4)
+	if x.N() != 4 {
+		t.Fatalf("N = %d, want 4", x.N())
+	}
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d after Extend, want 2 (new ids join detached)", x.Len())
+	}
+	if x.Min() != 0 {
+		t.Fatalf("Min = %d after Extend, want 0 (unchanged)", x.Min())
+	}
+	if x.Load(3) != 0 {
+		t.Fatalf("Load(3) = %d, want 0", x.Load(3))
+	}
+	// Attaching the fresh id makes it the least-loaded member.
+	x.Restore(2)
+	if x.Min() != 2 || x.MinLoad() != 0 {
+		t.Fatalf("after Restore(2): Min=%d MinLoad=%d, want 2,0", x.Min(), x.MinLoad())
+	}
+	x.Add(2, 5)
+	x.Restore(3)
+	if x.Min() != 3 {
+		t.Fatalf("Min = %d, want 3", x.Min())
+	}
+	// Shrinking or same-size Extend is a no-op.
+	x.Extend(3)
+	x.Extend(4)
+	if x.N() != 4 || x.Len() != 4 {
+		t.Fatalf("no-op Extend changed shape: N=%d Len=%d", x.N(), x.Len())
+	}
+}
+
+// TestLoadIndexExtendPastCapacity: growth beyond the reserved capacity
+// still works (it just allocates).
+func TestLoadIndexExtendPastCapacity(t *testing.T) {
+	x := NewLoadIndexCap(2, 2)
+	x.Extend(6)
+	for id := 2; id < 6; id++ {
+		x.Restore(id)
+		x.Add(id, id)
+	}
+	if x.Len() != 6 || x.Min() != 0 {
+		t.Fatalf("Len=%d Min=%d", x.Len(), x.Min())
+	}
+	x.Remove(0)
+	x.Remove(1)
+	if x.Min() != 2 {
+		t.Fatalf("Min = %d, want 2", x.Min())
+	}
+}
+
+// TestLoadIndexChurnTable drives fixed join/drain/leave interleavings
+// through the index and checks Min against the reference scan at each
+// step. The sequences mirror what the simulator's membership layer
+// actually does: Extend + Restore on join, Remove on drain, load decay
+// while draining, re-join of a previously departed id.
+func TestLoadIndexChurnTable(t *testing.T) {
+	type op struct {
+		kind string // "extend", "restore", "remove", "add"
+		id   int
+		arg  int // new size for extend, delta for add
+	}
+	cases := []struct {
+		name string
+		n    int
+		cap  int
+		ops  []op
+	}{
+		{
+			name: "join two then drain one",
+			n:    2, cap: 4,
+			ops: []op{
+				{"add", 0, 3}, {"add", 1, 1},
+				{"extend", 0, 4}, {"restore", 2, 0}, {"restore", 3, 0},
+				{"add", 2, 2}, {"remove", 1, 0}, {"add", 1, -1},
+			},
+		},
+		{
+			name: "drain all then rejoin",
+			n:    3, cap: 3,
+			ops: []op{
+				{"add", 0, 1}, {"add", 1, 2}, {"add", 2, 3},
+				{"remove", 0, 0}, {"remove", 1, 0}, {"remove", 2, 0},
+				{"restore", 1, 0}, {"restore", 2, 0}, {"add", 1, -2},
+			},
+		},
+		{
+			name: "interleaved growth and churn",
+			n:    1, cap: 8,
+			ops: []op{
+				{"add", 0, 5},
+				{"extend", 0, 3}, {"restore", 1, 0},
+				{"add", 1, 4}, {"remove", 0, 0},
+				{"extend", 0, 5}, {"restore", 4, 0},
+				{"add", 4, 1}, {"restore", 0, 0}, {"add", 0, -5},
+				{"remove", 4, 0}, {"restore", 2, 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := NewLoadIndexCap(tc.n, tc.cap)
+			loads := make([]int, tc.n)
+			attached := make([]bool, tc.n)
+			for i := range attached {
+				attached[i] = true
+			}
+			for step, o := range tc.ops {
+				switch o.kind {
+				case "extend":
+					x.Extend(o.arg)
+					for len(loads) < o.arg {
+						loads = append(loads, 0)
+						attached = append(attached, false)
+					}
+				case "restore":
+					x.Restore(o.id)
+					attached[o.id] = true
+				case "remove":
+					x.Remove(o.id)
+					attached[o.id] = false
+				case "add":
+					x.Add(o.id, o.arg)
+					loads[o.id] += o.arg
+				}
+				want := refMin(loads, attached)
+				if got := x.Min(); got != want {
+					t.Fatalf("step %d (%s %d): Min=%d, scan=%d (loads=%v attached=%v)",
+						step, o.kind, o.id, got, want, loads, attached)
+				}
+				for i := range loads {
+					if x.Load(i) != loads[i] {
+						t.Fatalf("step %d: Load(%d)=%d, want %d", step, i, x.Load(i), loads[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuickLoadIndexChurnMatchesScan extends the PR 7 property test
+// with pool growth: random interleavings of Add/Remove/Restore/Extend
+// must agree with the reference scan at every step.
+func TestQuickLoadIndexChurnMatchesScan(t *testing.T) {
+	f := func(nRaw, capRaw uint8, ops []uint16) bool {
+		n := int(nRaw%12) + 1
+		max := n + int(capRaw%12)
+		x := NewLoadIndexCap(n, max)
+		loads := make([]int, n)
+		attached := make([]bool, n)
+		for i := range attached {
+			attached[i] = true
+		}
+		for _, op := range ops {
+			switch op & 7 {
+			case 0, 1: // arrival
+				id := int(op>>3) % len(loads)
+				x.Add(id, 1)
+				loads[id]++
+			case 2, 3: // departure
+				id := int(op>>3) % len(loads)
+				if loads[id] > 0 {
+					x.Add(id, -1)
+					loads[id]--
+				}
+			case 4: // drain / crash
+				id := int(op>>3) % len(loads)
+				x.Remove(id)
+				attached[id] = false
+			case 5: // restore / rejoin
+				id := int(op>>3) % len(loads)
+				x.Restore(id)
+				attached[id] = true
+			case 6: // scale-up: extend by one and attach the new id
+				if len(loads) < max {
+					grown := len(loads) + 1
+					x.Extend(grown)
+					loads = append(loads, 0)
+					attached = append(attached, true)
+					x.Restore(grown - 1)
+				}
+			case 7: // redundant extend (no-op)
+				x.Extend(len(loads))
+			}
+			want := refMin(loads, attached)
+			if got := x.Min(); got != want {
+				t.Logf("loads=%v attached=%v: Min=%d, scan=%d", loads, attached, got, want)
+				return false
+			}
+			for i := range loads {
+				if x.Load(i) != loads[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadIndexPostJoinAddZeroAllocs gates the elastic hot path: after
+// a within-capacity join (Extend + Restore), dispatch-path mutations on
+// the joined id are allocation-free, exactly like original members.
+func TestLoadIndexPostJoinAddZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under -race")
+	}
+	x := NewLoadIndexCap(512, 1024)
+	x.Extend(1024)
+	for id := 512; id < 1024; id++ {
+		x.Restore(id)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		id := 512 + i%512 // joined ids only
+		x.Add(id, 3)
+		_ = x.Min()
+		x.Remove(id)
+		x.Restore(id)
+		x.Add(id, -3)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("post-join LoadIndex ops allocate %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestLoadIndexExtendWithinCapZeroAllocs: Extend itself is free within
+// the reserved capacity.
+func TestLoadIndexExtendWithinCapZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under -race")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		x := NewLoadIndexCap(16, 64)
+		x.Extend(64)
+		for id := 16; id < 64; id++ {
+			x.Restore(id)
+		}
+	})
+	// One run = three slice allocations from NewLoadIndexCap and
+	// nothing else: Extend and the Restores stay within capacity.
+	if avg > 4 {
+		t.Errorf("Extend within capacity allocates %.2f allocs/run, want construction only", avg)
+	}
+}

@@ -52,7 +52,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 20 {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -555,5 +555,99 @@ func TestSimScale(t *testing.T) {
 	// the ordering is a structural property, not a statistical accident.
 	if rnd, p8 := cellF(t, tbl, 0, 6), cellF(t, tbl, 2, 6); p8 >= rnd {
 		t.Errorf("poll-8 mean %.3f >= random mean %.3f", p8, rnd)
+	}
+}
+
+func TestElasticExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype half runs ~8s of wall-clock diurnal trace; cluster elastic coverage lives in internal/cluster")
+	}
+	o := quickOpts
+	o.Transport = "mem"
+	tbl, err := Elastic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // sim: 2 policies x 2 modes; proto-mem: 1 policy x 2 modes
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	modeCol := colIndex(t, tbl, "Mode")
+	meanCol := colIndex(t, tbl, "Mean(ms)")
+	finalCol := colIndex(t, tbl, "FinalPool")
+	peakCol := colIndex(t, tbl, "PeakPool")
+	joinsCol := colIndex(t, tbl, "Joins")
+	lostCol := colIndex(t, tbl, "Lost")
+	for r := range tbl.Rows {
+		mode := tbl.Cell(r, modeCol)
+		joins := cellF(t, tbl, r, joinsCol)
+		peak := cellF(t, tbl, r, peakCol)
+		final := cellF(t, tbl, r, finalCol)
+		switch mode {
+		case "fixed":
+			if joins != 0 || peak != elasticServers || final != elasticServers {
+				t.Errorf("row %d: fixed pool churned (joins %v, pool %v..%v)", r, joins, final, peak)
+			}
+		case "auto":
+			// The pool must track the diurnal peak: grow above the
+			// initial size, never past Max.
+			if joins == 0 || peak <= elasticServers || peak > elasticMax {
+				t.Errorf("row %d: autoscaler did not track load (joins %v, peak %v)", r, joins, peak)
+			}
+		default:
+			t.Errorf("row %d: unknown mode %q", r, mode)
+		}
+		// Planned membership changes never lose accepted work.
+		if lost := cellF(t, tbl, r, lostCol); lost != 0 {
+			t.Errorf("row %d: lost %v accesses", r, lost)
+		}
+	}
+	// Simulator cells are deterministic: the elastic pool must beat the
+	// overloaded fixed pool outright (rows alternate fixed, auto).
+	for r := 0; r < 4; r += 2 {
+		fixed := cellF(t, tbl, r, meanCol)
+		auto := cellF(t, tbl, r+1, meanCol)
+		if auto >= fixed {
+			t.Errorf("sim rows %d/%d: autoscaled mean %v not below fixed %v", r, r+1, auto, fixed)
+		}
+	}
+}
+
+func TestHetChurnExperiment(t *testing.T) {
+	tbl, err := HetChurn(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // homogeneous, het, het+churn
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	randCol := colIndex(t, tbl, "RANDOM(ms)")
+	p2Col := colIndex(t, tbl, "POLL-2(ms)")
+	p4Col := colIndex(t, tbl, "POLL-4(ms)")
+	p8Col := colIndex(t, tbl, "POLL-8(ms)")
+	p16Col := colIndex(t, tbl, "POLL-16(ms)")
+	// The het cluster has the same total capacity, yet random placement
+	// is unstable: each 0.25x server is offered ~2.9x its capacity.
+	if homo, het := cellF(t, tbl, 0, randCol), cellF(t, tbl, 1, randCol); het < 10*homo {
+		t.Errorf("het RANDOM %v not clearly unstable vs homogeneous %v", het, homo)
+	}
+	// The non-monotone stability row: 2-polls are forced onto slow
+	// servers (unstable), an interior poll size is best, and full
+	// information pays more in poll latency than it buys in placement.
+	p2, p8, p16 := cellF(t, tbl, 1, p2Col), cellF(t, tbl, 1, p8Col), cellF(t, tbl, 1, p16Col)
+	if !(p8 < p2 && p8 < p16) {
+		t.Errorf("het row not non-monotone in poll size: POLL-2 %v, POLL-8 %v, POLL-16 %v", p2, p8, p16)
+	}
+	if p2 < 10*p8 {
+		t.Errorf("het POLL-2 %v not clearly unstable vs interior optimum %v", p2, p8)
+	}
+	// On the homogeneous cluster the same poll-cost model makes load
+	// information a net cost at fine grain (the paper's Figure 6 story).
+	if homoRand, homo16 := cellF(t, tbl, 0, randCol), cellF(t, tbl, 0, p16Col); homo16 <= homoRand {
+		t.Errorf("homogeneous row: POLL-16 %v not above RANDOM %v under the poll-cost model", homo16, homoRand)
+	}
+	// Draining a fast node mid-run shrinks the capacity margin and must
+	// show up against the same-poll-size het cell.
+	if het4, churn4 := cellF(t, tbl, 1, p4Col), cellF(t, tbl, 2, p4Col); churn4 <= het4 {
+		t.Errorf("churn POLL-4 %v not above het %v", churn4, het4)
 	}
 }

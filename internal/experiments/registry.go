@@ -31,6 +31,8 @@ var registry = map[string]registryEntry{
 	"leastconn":    {LeastConn, "A4: client-local least-connections comparison"},
 	"burstiness":   {Burstiness, "A5: arrival burstiness sweep"},
 	"degraded":     {Degraded, "Degraded mode: crashes + poll loss on both substrates"},
+	"elastic":      {Elastic, "Elastic membership: autoscaler on a diurnal trace, both substrates"},
+	"hetchurn":     {HetChurn, "Heterogeneous cluster + churn: non-monotone poll-size row (simulation)"},
 	"gateway":      {Gateway, "Gateway: HTTP front door end to end (admission, rate limiting, sticky routing)"},
 	"simscale":     {SimScale, "SC1: simulator hot-path throughput at O(10k) servers (events/sec)"},
 }

@@ -146,6 +146,11 @@ type Options struct {
 	// scale-oriented experiments (simscale) honor them.
 	Servers  int
 	Accesses int
+	// SpeedFactors, when non-nil, overrides the heterogeneous-speed
+	// scenario of speed-aware experiments (hetchurn) with an explicit
+	// per-server factor slice (cmd/repro -speed-factors, parsed by
+	// simcluster.ParseSpeedFactors). Other experiments ignore it.
+	SpeedFactors []float64
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 	// Metrics, when non-nil, collects one obs snapshot per substrate

@@ -59,6 +59,7 @@ var DeterministicPackages = map[string]bool{
 	"finelb/internal/queueing":   true,
 	"finelb/internal/workload":   true,
 	"finelb/internal/faults":     true,
+	"finelb/internal/membership": true,
 	"finelb/internal/stats":      true,
 }
 

@@ -39,6 +39,7 @@ func TestScopeConfig(t *testing.T) {
 		"finelb/internal/queueing",
 		"finelb/internal/workload",
 		"finelb/internal/faults",
+		"finelb/internal/membership",
 		"finelb/internal/stats",
 	} {
 		if !detclock.DeterministicPackages[path] {

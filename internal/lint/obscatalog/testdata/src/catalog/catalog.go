@@ -26,6 +26,18 @@ func Gateway(reg *obs.Registry) {
 	reg.Counter(obs.TenantMetric(obs.MetricGatewayRequests, "paid")) // derived name: clean
 }
 
+// Membership exercises the elastic-membership catalog entries: the
+// counters and gauge a substrate registers when a run's pool can
+// change. Spelling any of them as a literal is the drift the analyzer
+// exists to catch.
+func Membership(reg *obs.Registry) {
+	reg.Counter(obs.MetricMembershipJoins) // catalog constant: clean
+	reg.Gauge(obs.MetricMembershipPool)    // catalog constant: clean
+	reg.Counter(obs.MetricAutoscaleUps)    // catalog constant: clean
+	reg.Counter("membership_joins_total")  // want `metric name "membership_joins_total" is not an obs catalog constant`
+	reg.Gauge("membership_pool_size")      // want `metric name "membership_pool_size" is not an obs catalog constant`
+}
+
 // Dynamic names are registry plumbing, not spelling sites: the
 // analyzer leaves them to the golden name-set test.
 func Dynamic(reg *obs.Registry, name string) *obs.Counter {

@@ -31,6 +31,11 @@ const (
 	MetricGoodAlt = "good_alt_total"
 	// MetricGatewayRequests mirrors the gateway catalog entry.
 	MetricGatewayRequests = "gateway_requests_total"
+	// Elastic-membership catalog entries, mirroring the real
+	// obs.MembershipMetrics constants.
+	MetricMembershipJoins = "membership_joins_total"
+	MetricMembershipPool  = "membership_pool_size"
+	MetricAutoscaleUps    = "autoscaler_scale_ups_total"
 )
 
 // TenantMetric mirrors the real catalog's per-tenant name derivation.

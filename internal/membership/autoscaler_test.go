@@ -1,0 +1,141 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAutoscalerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *AutoscalerConfig
+		ok   bool
+	}{
+		{"nil inert", nil, true},
+		{"zero inert", &AutoscalerConfig{}, true},
+		{"good", &AutoscalerConfig{Min: 2, Max: 8}, true},
+		{"min zero", &AutoscalerConfig{Min: 0, Max: 8}, false},
+		{"max below min", &AutoscalerConfig{Min: 4, Max: 2}, false},
+		{"floor above trigger", &AutoscalerConfig{Min: 1, Max: 4, ScaleUpAt: 1, ScaleDownAt: 2}, false},
+		{"negative step", &AutoscalerConfig{Min: 1, Max: 4, Step: -1}, false},
+		{"negative cooldown", &AutoscalerConfig{Min: 1, Max: 4, ScaleUpCooldown: -time.Second}, false},
+		{"negative interval", &AutoscalerConfig{Min: 1, Max: 4, Interval: -time.Second}, false},
+	}
+	for _, c := range cases {
+		if err := c.c.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestAutoscalerInert(t *testing.T) {
+	if a := NewAutoscaler(nil); a != nil {
+		t.Fatal("nil config must yield nil autoscaler")
+	}
+	var a *Autoscaler
+	if got := a.Evaluate(time.Second, 4, 100); got != 0 {
+		t.Fatalf("nil autoscaler Evaluate = %d, want 0", got)
+	}
+}
+
+func TestAutoscalerScaleUpAndCooldown(t *testing.T) {
+	a := NewAutoscaler(&AutoscalerConfig{
+		Min: 2, Max: 6,
+		ScaleUpAt: 4, ScaleDownAt: 1,
+		ScaleUpCooldown: 2 * time.Second, ScaleDownCooldown: 4 * time.Second,
+	})
+	if got := a.Evaluate(0, 2, 5.0); got != 1 {
+		t.Fatalf("overloaded sample: delta = %d, want +1", got)
+	}
+	// Inside the cooldown window the policy holds even though load is
+	// still above the trigger.
+	if got := a.Evaluate(time.Second, 3, 9.0); got != 0 {
+		t.Fatalf("inside cooldown: delta = %d, want 0", got)
+	}
+	if got := a.Evaluate(2*time.Second+time.Millisecond, 3, 9.0); got != 1 {
+		t.Fatalf("past cooldown: delta = %d, want +1", got)
+	}
+}
+
+func TestAutoscalerScaleUpClampsAtMax(t *testing.T) {
+	a := NewAutoscaler(&AutoscalerConfig{Min: 1, Max: 4, ScaleUpAt: 2, ScaleDownAt: 1, Step: 3})
+	if got := a.Evaluate(0, 3, 10); got != 1 {
+		t.Fatalf("delta = %d, want +1 (clamped at max)", got)
+	}
+	if got := a.Evaluate(time.Hour, 4, 10); got != 0 {
+		t.Fatalf("at max: delta = %d, want 0", got)
+	}
+}
+
+func TestAutoscalerScaleDownFloorAndCooldown(t *testing.T) {
+	a := NewAutoscaler(&AutoscalerConfig{
+		Min: 2, Max: 8,
+		ScaleUpAt: 4, ScaleDownAt: 1,
+		ScaleUpCooldown: time.Second, ScaleDownCooldown: 5 * time.Second,
+	})
+	// Load between the floor and the trigger: hold, never shrink.
+	if got := a.Evaluate(0, 6, 2.0); got != 0 {
+		t.Fatalf("mid-band sample: delta = %d, want 0", got)
+	}
+	if got := a.Evaluate(time.Second, 6, 0.2); got != -1 {
+		t.Fatalf("idle sample: delta = %d, want -1", got)
+	}
+	if got := a.Evaluate(3*time.Second, 5, 0.2); got != 0 {
+		t.Fatalf("inside down-cooldown: delta = %d, want 0", got)
+	}
+	if got := a.Evaluate(7*time.Second, 5, 0.2); got != -1 {
+		t.Fatalf("past down-cooldown: delta = %d, want -1", got)
+	}
+	// Min pool is a hard floor.
+	if got := a.Evaluate(time.Hour, 2, 0.0); got != 0 {
+		t.Fatalf("at min: delta = %d, want 0", got)
+	}
+}
+
+func TestAutoscalerScaleUpResetsDownWindow(t *testing.T) {
+	a := NewAutoscaler(&AutoscalerConfig{
+		Min: 1, Max: 8,
+		ScaleUpAt: 4, ScaleDownAt: 1,
+		ScaleUpCooldown: time.Second, ScaleDownCooldown: 10 * time.Second,
+	})
+	if got := a.Evaluate(0, 2, 8.0); got != 1 {
+		t.Fatalf("scale up: delta = %d, want +1", got)
+	}
+	// Load collapses right after the scale-up; the fresh capacity must
+	// survive a full scale-down cooldown before being withdrawn.
+	if got := a.Evaluate(2*time.Second, 3, 0.1); got != 0 {
+		t.Fatalf("fresh capacity withdrawn early: delta = %d, want 0", got)
+	}
+	if got := a.Evaluate(11*time.Second, 3, 0.1); got != -1 {
+		t.Fatalf("past reset window: delta = %d, want -1", got)
+	}
+}
+
+func TestAutoscalerDeterministicReplay(t *testing.T) {
+	cfg := &AutoscalerConfig{Min: 2, Max: 10, ScaleUpAt: 3, ScaleDownAt: 1}
+	samples := []struct {
+		at   time.Duration
+		pool int
+		load float64
+	}{
+		{0, 2, 5}, {time.Second, 3, 5}, {3 * time.Second, 3, 6},
+		{5 * time.Second, 4, 0.5}, {9 * time.Second, 4, 0.4},
+		{14 * time.Second, 3, 0.3}, {20 * time.Second, 2, 8},
+	}
+	run := func() []int {
+		a := NewAutoscaler(cfg)
+		out := make([]int, 0, len(samples))
+		pool := 0
+		for _, s := range samples {
+			pool = s.pool
+			out = append(out, a.Evaluate(s.at, pool, s.load))
+		}
+		return out
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at sample %d: %v vs %v", i, first, second)
+		}
+	}
+}

@@ -78,6 +78,49 @@ const (
 	MetricManagerOutstanding = "manager_outstanding"
 )
 
+// Membership metric names: the elastic-membership seam
+// (internal/membership) as replayed by either substrate. These are NOT
+// part of the per-run RunMetrics catalog: they register only when a run
+// actually has an active membership schedule or autoscaler, so
+// fixed-pool runs keep their golden metric digests bit-identical.
+const (
+	MetricMembershipJoins  = "membership_joins_total"
+	MetricMembershipDrains = "membership_drains_total"
+	MetricMembershipLeaves = "membership_leaves_total"
+	MetricMembershipPool   = "membership_pool_size"
+	MetricAutoscaleUps     = "autoscaler_scale_ups_total"
+	MetricAutoscaleDowns   = "autoscaler_scale_downs_total"
+)
+
+// MembershipMetrics instruments one elastic run: pool transitions, the
+// routable pool size (whose high-water mark is the run's peak pool),
+// and autoscaler actions.
+type MembershipMetrics struct {
+	Joins      *Counter // servers that joined (or re-joined) the routable pool
+	Drains     *Counter // servers withdrawn from routing but still serving
+	Leaves     *Counter // drained servers retired from the run
+	Pool       *Gauge   // current routable pool size (High() = peak)
+	ScaleUps   *Counter // autoscaler grow actions applied
+	ScaleDowns *Counter // autoscaler shrink actions applied
+}
+
+// NewMembershipMetrics resolves the membership catalog against reg.
+// Call it only for runs with elastic membership enabled — registration
+// adds names to the registry and therefore to snapshot digests.
+func NewMembershipMetrics(reg *Registry) *MembershipMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &MembershipMetrics{
+		Joins:      reg.Counter(MetricMembershipJoins),
+		Drains:     reg.Counter(MetricMembershipDrains),
+		Leaves:     reg.Counter(MetricMembershipLeaves),
+		Pool:       reg.Gauge(MetricMembershipPool),
+		ScaleUps:   reg.Counter(MetricAutoscaleUps),
+		ScaleDowns: reg.Counter(MetricAutoscaleDowns),
+	}
+}
+
 // Gateway metric names: the HTTP front door's request pipeline
 // (internal/gateway, served by cmd/lbgw). Admission and stickiness
 // counters are pure functions of the request stream and tenant

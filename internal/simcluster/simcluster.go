@@ -25,6 +25,7 @@ import (
 
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/membership"
 	"finelb/internal/obs"
 	"finelb/internal/sim"
 	"finelb/internal/stats"
@@ -82,6 +83,21 @@ type Config struct {
 	// retries) mirrors the prototype client's, with the shared defaults
 	// from internal/faults. Unsupported with the Broadcast policy.
 	Faults *faults.Schedule
+
+	// Membership, when active, makes the server set elastic: Join/
+	// Drain/Leave events play out on the simulated clock, growing the
+	// pool past Servers (up to the schedule's MaxNode) or gracefully
+	// shrinking it. An inert schedule takes the fixed-pool fast path
+	// bit for bit. Unsupported with the Broadcast policy and with an
+	// active fault schedule (drain is the planned counterpart of
+	// crash; combine churn kinds in one seam, not two).
+	Membership *membership.Schedule
+	// Autoscaler, when active, samples the routable pool's load every
+	// policy interval on the simulated clock and applies the resulting
+	// Join/Drain events itself — the closed-loop counterpart of a
+	// precomputed Membership schedule. Both may be set; the schedule
+	// seeds churn and the autoscaler reacts on top.
+	Autoscaler *membership.AutoscalerConfig
 
 	// Accesses is the number of service accesses to generate (default 100000).
 	Accesses int
@@ -153,8 +169,32 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("simcluster: Faults is unsupported with the Broadcast policy")
 		}
 	}
+	if c.Membership != nil || c.Autoscaler != nil {
+		if err := c.Membership.Validate(); err != nil {
+			return c, err
+		}
+		if err := c.Autoscaler.Validate(); err != nil {
+			return c, err
+		}
+	}
+	if c.elastic() {
+		if c.Policy.Kind == core.Broadcast {
+			// Broadcast tables are sized to the fixed pool and its
+			// agents run on Every() timers; elastic pools are a polling/
+			// index-policy feature.
+			return c, fmt.Errorf("simcluster: Membership is unsupported with the Broadcast policy")
+		}
+		if c.Faults.Active() {
+			return c, fmt.Errorf("simcluster: Membership and Faults cannot combine in one run")
+		}
+		if c.Autoscaler.Active() && c.Autoscaler.Max < c.Servers {
+			return c, fmt.Errorf("simcluster: autoscaler max pool %d below initial %d servers", c.Autoscaler.Max, c.Servers)
+		}
+	}
 	if c.SpeedFactors != nil {
-		if len(c.SpeedFactors) != c.Servers {
+		// An elastic run may carry extra factors for joinable ids past
+		// the initial pool; ids beyond the slice run at speed 1.
+		if len(c.SpeedFactors) != c.Servers && !(c.elastic() && len(c.SpeedFactors) > c.Servers) {
 			return c, fmt.Errorf("simcluster: %d speed factors for %d servers", len(c.SpeedFactors), c.Servers)
 		}
 		for i, f := range c.SpeedFactors {
@@ -164,6 +204,27 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	}
 	return c, nil
+}
+
+// elastic reports whether the run's server set can change mid-run.
+func (c Config) elastic() bool {
+	return c.Membership.Active() || c.Autoscaler.Active()
+}
+
+// maxPool returns the largest server id space the run can reach: the
+// initial pool, grown by whatever the membership schedule or the
+// autoscaler bound can add. Fixed-pool runs return Servers, so every
+// capacity sized from maxPool is exactly what it was before the
+// elastic seam existed.
+func (c Config) maxPool() int {
+	mp := c.Servers
+	if n := c.Membership.MaxNode() + 1; n > mp {
+		mp = n
+	}
+	if c.Autoscaler.Active() && c.Autoscaler.Max > mp {
+		mp = c.Autoscaler.Max
+	}
+	return mp
 }
 
 // MessageCount tallies the load-information traffic of a run,
@@ -216,6 +277,16 @@ type Result struct {
 	// Retries counts poll re-rounds plus access re-dispatches after
 	// failures (always zero without Faults).
 	Retries int64
+
+	// Membership churn (elastic runs; a fixed pool reports zero churn
+	// with FinalPool = PeakPool = Servers).
+	Joins  int64 // servers that joined or re-joined the routable pool
+	Drains int64 // servers withdrawn from routing (still serving)
+	Leaves int64 // drained servers retired from the run
+	// FinalPool and PeakPool are the routable pool size at the end of
+	// the run and its high-water mark.
+	FinalPool int
+	PeakPool  int
 
 	// Metrics is the end-of-run snapshot of the obs.RunMetrics catalog
 	// (taken after the engine drains, so cross-metric invariants hold).
@@ -354,6 +425,7 @@ type runner struct {
 	pollDst   []int
 
 	ft *clientFaults
+	ms *memberState // elastic membership (nil on fixed-pool runs)
 
 	freeAcc  []*access  // recycled access records
 	freePoll []*pollCtx // recycled healthy-poll round contexts
@@ -507,6 +579,9 @@ func (r *runner) serviceDone(a *access) {
 	r.rm.WorkersBusy.Add(-1)
 	if next := s.pop(); next != nil {
 		r.startService(next)
+	} else if r.ms != nil && s.active == 0 && r.ms.retiring[a.srv] {
+		// An autoscaler-drained server retires once its queue empties.
+		r.leave(a.srv)
 	}
 	r.eng.After(r.cfg.ServiceNetDelay, a.onDone)
 }
@@ -677,7 +752,17 @@ func (r *runner) newPollCtx(d int) *pollCtx {
 // threshold).
 func (r *runner) healthyPoll(a *access) {
 	cfg := &r.cfg
-	set := core.PollSet(r.policyRNG, cfg.Servers, cfg.Policy.PollSize, r.pollDst, r.pollIdent, r.pollSwaps)
+	var set []int
+	if r.ms != nil {
+		// Elastic pool: draw the poll set over the routable members.
+		// PollSet picks indices into [0, len(members)); remap in place.
+		set = core.PollSet(r.policyRNG, len(r.ms.members), cfg.Policy.PollSize, r.pollDst, r.pollIdent, r.pollSwaps)
+		for i := range set {
+			set[i] = r.ms.members[set[i]]
+		}
+	} else {
+		set = core.PollSet(r.policyRNG, cfg.Servers, cfg.Policy.PollSize, r.pollDst, r.pollIdent, r.pollSwaps)
+	}
 	c := r.newPollCtx(len(set))
 	c.a = a
 	c.polled = append(c.polled[:0], set...)
@@ -890,6 +975,13 @@ func (r *runner) pollRound(a *access, round int, cands []int) {
 // quarantined servers first.
 func (r *runner) handle(a *access) {
 	cfg := &r.cfg
+	if r.ms != nil {
+		// Elastic pool: route over the current members (elastic.go).
+		// Membership and faults never combine, so the branches are
+		// mutually exclusive.
+		r.handleElastic(a)
+		return
+	}
 	if r.ft == nil {
 		switch cfg.Policy.Kind {
 		case core.Random:
@@ -1024,25 +1116,27 @@ func newRunner(cfg Config) (*runner, error) {
 		r.reg = obs.NewRegistry()
 	}
 	r.rm = obs.NewRunMetrics(r.reg)
+	// Elastic runs can grow past Servers; every capacity below is sized
+	// to the reachable maximum so growth reuses reserved space instead
+	// of reallocating. Fixed-pool runs have maxPool == Servers, leaving
+	// every allocation exactly as it was.
+	maxPool := cfg.maxPool()
 	r.tr = cfg.Trace
 	if r.tr != nil {
 		r.clientActor = make([]string, cfg.Clients)
 		for i := range r.clientActor {
 			r.clientActor[i] = "client:" + strconv.Itoa(i)
 		}
-		r.serverActor = make([]string, cfg.Servers)
+		r.serverActor = make([]string, maxPool)
 		for i := range r.serverActor {
 			r.serverActor[i] = "server:" + strconv.Itoa(i)
 		}
 	}
 
-	r.srv = make([]serverState, cfg.Servers)
+	r.srv = make([]serverState, cfg.Servers, maxPool)
 	for i := range r.srv {
 		s := &r.srv[i]
-		s.speed = 1.0
-		if cfg.SpeedFactors != nil {
-			s.speed = cfg.SpeedFactors[i]
-		}
+		s.speed = r.speedFor(i)
 		if cfg.RecordQueueSeries {
 			s.series = &QSeries{}
 		}
@@ -1090,15 +1184,21 @@ func newRunner(cfg Config) (*runner, error) {
 	if cfg.Policy.Kind == core.LocalLeast {
 		r.local = make([]*core.LoadIndex, cfg.Clients)
 		for i := range r.local {
-			r.local[i] = core.NewLoadIndex(cfg.Servers)
+			r.local[i] = core.NewLoadIndexCap(cfg.Servers, maxPool)
 		}
 	}
 	if cfg.Policy.Kind == core.Ideal {
-		r.commit = core.NewLoadIndex(cfg.Servers)
+		r.commit = core.NewLoadIndexCap(cfg.Servers, maxPool)
 	}
-	r.pollIdent = core.Identity(cfg.Servers)
-	r.pollSwaps = make([]int, cfg.Servers)
-	r.pollDst = make([]int, cfg.Servers)
+	r.pollIdent = core.Identity(maxPool)
+	r.pollSwaps = make([]int, maxPool)
+	r.pollDst = make([]int, maxPool)
+
+	// Elastic membership, allocated only for an active schedule or
+	// autoscaler: the fixed-pool path pays nothing and draws nothing.
+	if cfg.elastic() {
+		r.setupElastic(maxPool)
+	}
 
 	// Broadcast agents.
 	if cfg.Policy.Kind == core.Broadcast {
@@ -1142,7 +1242,10 @@ func (r *runner) collect() *Result {
 	res := r.res
 	res.SimDuration = end
 	res.EventsFired = r.eng.Fired()
-	res.ServerUtilization = make([]float64, r.cfg.Servers)
+	// len(r.srv) == cfg.Servers on fixed-pool runs; elastic runs report
+	// every server the run ever grew (joined servers count their
+	// pre-join span as idle).
+	res.ServerUtilization = make([]float64, len(r.srv))
 	var qsum float64
 	for i := range r.srv {
 		s := &r.srv[i]
@@ -1154,7 +1257,13 @@ func (r *runner) collect() *Result {
 			res.QueueSeries = append(res.QueueSeries, s.series)
 		}
 	}
-	res.MeanQueueLength = qsum / float64(r.cfg.Servers)
+	res.MeanQueueLength = qsum / float64(len(r.srv))
+	res.FinalPool, res.PeakPool = r.cfg.Servers, r.cfg.Servers
+	if r.ms != nil {
+		res.Joins, res.Drains, res.Leaves = r.ms.joins, r.ms.drains, r.ms.leaves
+		res.FinalPool = len(r.ms.members)
+		res.PeakPool = r.ms.peakPool
+	}
 	// Accesses stranded on a paused-forever server drain no events, so
 	// the engine exits with them still frozen; they are lost too.
 	res.Lost = int64(r.cfg.Accesses - r.completed)

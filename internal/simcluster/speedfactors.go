@@ -1,0 +1,46 @@
+package simcluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpeedFactors parses the -speed-factors CLI grammar into a
+// Config.SpeedFactors slice: comma-separated groups, each either a bare
+// factor ("1.5") or a count and factor joined by 'x' ("4x3.25"), so
+// "4x3.25,12x0.25" expands to 16 entries. An empty string means a
+// homogeneous cluster (nil factors). Factors must be positive; the
+// length check against Servers stays in Config validation, where the
+// pool size is known.
+func ParseSpeedFactors(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for i, group := range strings.Split(s, ",") {
+		g := strings.TrimSpace(group)
+		if g == "" {
+			return nil, fmt.Errorf("simcluster: speed factors %q: empty group %d", s, i)
+		}
+		count, spec := 1, g
+		if cs, fs, ok := strings.Cut(g, "x"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(cs))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("simcluster: speed factors %q: bad count %q in group %d", s, strings.TrimSpace(cs), i)
+			}
+			count, spec = n, strings.TrimSpace(fs)
+		}
+		f, err := strconv.ParseFloat(spec, 64)
+		if err != nil {
+			return nil, fmt.Errorf("simcluster: speed factors %q: bad factor %q in group %d", s, spec, i)
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("simcluster: speed factor %d = %v", len(out), f)
+		}
+		for j := 0; j < count; j++ {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

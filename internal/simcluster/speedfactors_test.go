@@ -1,0 +1,66 @@
+package simcluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"finelb/internal/core"
+	"finelb/internal/workload"
+)
+
+func TestParseSpeedFactors(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []float64
+		wantErr string
+	}{
+		{in: "", want: nil},
+		{in: "   ", want: nil},
+		{in: "1.5", want: []float64{1.5}},
+		{in: "2x3", want: []float64{3, 3}},
+		{in: "4x3.25,12x0.25", want: append([]float64{3.25, 3.25, 3.25, 3.25},
+			0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25)},
+		{in: " 1 , 2x0.5 ", want: []float64{1, 0.5, 0.5}},
+		{in: "1,,2", wantErr: "empty group 1"},
+		{in: "0x2", wantErr: `bad count "0"`},
+		{in: "axb", wantErr: `bad count "a"`},
+		{in: "2xq", wantErr: `bad factor "q"`},
+		{in: "1,-2", wantErr: "speed factor 1 = -2"},
+		{in: "3x0", wantErr: "speed factor 0 = 0"},
+	}
+	for _, c := range cases {
+		got, err := ParseSpeedFactors(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSpeedFactors(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpeedFactors(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSpeedFactors(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseSpeedFactorsFeedsConfig ties the grammar to Config
+// validation: a parsed slice of the wrong length is rejected with the
+// same message a hand-built one is.
+func TestParseSpeedFactorsFeedsConfig(t *testing.T) {
+	sf, err := ParseSpeedFactors("4x3.25,12x0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf) != 16 {
+		t.Fatalf("expanded to %d factors, want 16", len(sf))
+	}
+	w := workload.PoissonExp(0.05).ScaledTo(8, 0.5)
+	cfg := Config{Servers: 8, Workload: w, Policy: core.NewRandom(), Accesses: 10, SpeedFactors: sf}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "16 speed factors for 8 servers") {
+		t.Fatalf("mismatched factors error = %v", err)
+	}
+}

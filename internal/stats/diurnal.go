@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diurnal is a time-inhomogeneous Poisson inter-arrival process with a
+// sinusoidal day/night rate profile:
+//
+//	lambda(t) = baseRate * (1 - Amp*cos(2*pi*t/Period))
+//
+// starting at the trough (t = 0 is the quietest moment, t = Period/2
+// the peak), so a run that begins calm climbs to Amp-times-over-mean
+// offered load and subsides again — the canonical trace an autoscaler
+// must track. baseRate is 1/MeanInterval, the time-average rate, so
+// demand scaling through the workload layer keeps working: the long-run
+// mean inter-arrival time is MeanInterval regardless of Amp.
+//
+// Sampling uses Lewis–Shedler thinning against the peak rate
+// lambdaMax = baseRate*(1+Amp): candidate arrivals come from a
+// homogeneous Exp(1/lambdaMax) stream and survive with probability
+// lambda(t)/lambdaMax. Diurnal carries its own process clock across
+// draws: use one instance per stream (it implements Forker) and do not
+// share it between goroutines.
+type Diurnal struct {
+	MeanInterval float64 // time-average inter-arrival time (seconds)
+	Amp          float64 // modulation depth in [0, 1): 0 degenerates to Exp
+	Period       float64 // cycle length (seconds)
+
+	t float64 // process clock: absolute time of the last arrival
+}
+
+// NewDiurnal validates and returns a diurnal arrival process.
+func NewDiurnal(meanInterval, amp, period float64) *Diurnal {
+	if meanInterval <= 0 {
+		panic(fmt.Sprintf("stats: Diurnal mean interval %v <= 0", meanInterval))
+	}
+	if amp < 0 || amp >= 1 {
+		panic(fmt.Sprintf("stats: Diurnal amplitude %v outside [0,1)", amp))
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("stats: Diurnal period %v <= 0", period))
+	}
+	return &Diurnal{MeanInterval: meanInterval, Amp: amp, Period: period}
+}
+
+// rate returns lambda(t).
+func (d *Diurnal) rate(t float64) float64 {
+	base := 1 / d.MeanInterval
+	return base * (1 - d.Amp*math.Cos(2*math.Pi*t/d.Period))
+}
+
+// Sample draws the next inter-arrival interval, advancing the process
+// clock.
+func (d *Diurnal) Sample(r *RNG) float64 {
+	lambdaMax := (1 + d.Amp) / d.MeanInterval
+	start := d.t
+	for {
+		d.t += r.ExpFloat64() / lambdaMax
+		if d.Amp == 0 || r.Float64()*lambdaMax < d.rate(d.t) {
+			return d.t - start
+		}
+	}
+}
+
+// Mean returns the time-average inter-arrival time. (The instantaneous
+// mean swings between MeanInterval/(1+Amp) and MeanInterval/(1-Amp);
+// demand scaling uses the long-run average.)
+func (d *Diurnal) Mean() float64 { return d.MeanInterval }
+
+// Std returns the marginal standard deviation of the intervals. For the
+// time-average exponential envelope this is approximately the mean;
+// exact marginal moments of a thinned sinusoidal process have no closed
+// form worth carrying, and Std here only feeds CV-style sanity checks.
+func (d *Diurnal) Std() float64 { return d.MeanInterval }
+
+func (d *Diurnal) String() string {
+	return fmt.Sprintf("Diurnal(mean=%v, amp=%v, period=%v)", d.MeanInterval, d.Amp, d.Period)
+}
+
+// Fork implements Forker: the copy starts with a fresh process clock.
+func (d *Diurnal) Fork() Dist {
+	return NewDiurnal(d.MeanInterval, d.Amp, d.Period)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiurnalValidation(t *testing.T) {
+	cases := []struct{ mean, amp, period float64 }{
+		{0, 0.5, 10},
+		{-1, 0.5, 10},
+		{1, -0.1, 10},
+		{1, 1.0, 10},
+		{1, 0.5, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDiurnal(%v, %v, %v) did not panic", c.mean, c.amp, c.period)
+				}
+			}()
+			NewDiurnal(c.mean, c.amp, c.period)
+		}()
+	}
+}
+
+// TestDiurnalLongRunMean: the time-average rate is 1/MeanInterval —
+// the sinusoid integrates to zero over whole periods — so over many
+// periods the empirical mean interval converges to MeanInterval.
+func TestDiurnalLongRunMean(t *testing.T) {
+	d := NewDiurnal(0.01, 0.8, 10.0)
+	r := NewRNG(7)
+	n := 200000
+	var total float64
+	for i := 0; i < n; i++ {
+		total += d.Sample(r)
+	}
+	got := total / float64(n)
+	if math.Abs(got-0.01)/0.01 > 0.05 {
+		t.Fatalf("empirical mean interval %v, want 0.01 within 5%%", got)
+	}
+}
+
+// TestDiurnalModulation: arrivals concentrate near the peak
+// (t ≈ period/2 mod period) and thin out near the trough. Count
+// arrivals per quarter-period over many cycles: the peak quarter must
+// see substantially more than the trough quarter.
+func TestDiurnalModulation(t *testing.T) {
+	period := 10.0
+	d := NewDiurnal(0.01, 0.8, period)
+	r := NewRNG(11)
+	counts := [4]int{}
+	var clock float64
+	for i := 0; i < 100000; i++ {
+		clock += d.Sample(r)
+		phase := math.Mod(clock, period) / period
+		counts[int(phase*4)%4]++
+	}
+	trough := counts[0] + counts[3] // quarters around t=0 (the trough)
+	peak := counts[1] + counts[2]   // quarters around t=period/2 (the peak)
+	if float64(peak) < 1.5*float64(trough) {
+		t.Fatalf("peak/trough arrival counts %d/%d: modulation too weak", peak, trough)
+	}
+}
+
+// TestDiurnalZeroAmpMatchesExp: amp = 0 degenerates to a plain
+// homogeneous Poisson process.
+func TestDiurnalZeroAmpMatchesExp(t *testing.T) {
+	d := NewDiurnal(0.5, 0, 10)
+	r1 := NewRNG(3)
+	r2 := NewRNG(3)
+	e := Exponential{MeanValue: 0.5}
+	for i := 0; i < 100; i++ {
+		if got, want := d.Sample(r1), e.Sample(r2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("draw %d: diurnal %v vs exp %v", i, got, want)
+		}
+	}
+}
+
+func TestDiurnalFork(t *testing.T) {
+	d := NewDiurnal(0.01, 0.5, 10)
+	r := NewRNG(5)
+	for i := 0; i < 50; i++ {
+		d.Sample(r) // advance the process clock
+	}
+	f, ok := ForkDist(d).(*Diurnal)
+	if !ok {
+		t.Fatal("ForkDist did not return a *Diurnal")
+	}
+	if f == d {
+		t.Fatal("Fork returned the same instance")
+	}
+	if f.t != 0 {
+		t.Fatalf("forked process clock %v, want 0", f.t)
+	}
+	// Same seed, fresh fork: deterministic replay.
+	a, b := NewDiurnal(0.01, 0.5, 10), NewDiurnal(0.01, 0.5, 10)
+	ra, rb := NewRNG(9), NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if a.Sample(ra) != b.Sample(rb) {
+			t.Fatal("same-seed diurnal streams diverged")
+		}
+	}
+}
+
+func TestDiurnalMoments(t *testing.T) {
+	d := NewDiurnal(0.25, 0.6, 100)
+	if d.Mean() != 0.25 || d.Std() != 0.25 {
+		t.Fatalf("Mean=%v Std=%v, want 0.25, 0.25", d.Mean(), d.Std())
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

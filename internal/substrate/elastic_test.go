@@ -1,0 +1,105 @@
+package substrate
+
+import (
+	"testing"
+	"time"
+
+	"finelb/internal/membership"
+	"finelb/internal/obs"
+)
+
+// TestInertMembershipBitIdentical pins the elastic seam's inert
+// contract at the substrate layer: a run whose spec carries an empty
+// membership schedule and a zero autoscaler config must freeze exactly
+// the same metric snapshot as a run with no membership fields at all,
+// on both substrates. The simulator compares full digests (every value
+// is simulated-time shaped); the prototype mem run compares the
+// deterministic projection.
+func TestInertMembershipBitIdentical(t *testing.T) {
+	sim, simSpec := goldenSimSpec()
+	fixed, err := sim.Run(simSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSpec.Membership = &membership.Schedule{}
+	simSpec.Autoscaler = &membership.AutoscalerConfig{}
+	inert, err := sim.Run(simSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fixed.Metrics.Digest(), inert.Metrics.Digest(); a != b {
+		t.Errorf("sim: inert membership changed the metric snapshot:\n%s\nvs\n%s", a, b)
+	}
+	if fixed.EventsFired != inert.EventsFired {
+		t.Errorf("sim: inert membership changed the event count: %d vs %d",
+			fixed.EventsFired, inert.EventsFired)
+	}
+	if inert.Joins != 0 || inert.Drains != 0 || inert.Leaves != 0 {
+		t.Errorf("inert run reported churn: %d/%d/%d", inert.Joins, inert.Drains, inert.Leaves)
+	}
+	if inert.FinalPool != simSpec.Servers || inert.PeakPool != simSpec.Servers {
+		t.Errorf("inert pool %d/%d, want %d", inert.FinalPool, inert.PeakPool, simSpec.Servers)
+	}
+
+	mem, memSpec := goldenMemSpec()
+	fixedMem, err := mem.Run(memSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSpec.Membership = &membership.Schedule{}
+	memSpec.Autoscaler = &membership.AutoscalerConfig{}
+	inertMem, err := mem.Run(memSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fixedMem.Metrics.DeterministicDigest(), inertMem.Metrics.DeterministicDigest(); a != b {
+		t.Errorf("proto-mem: inert membership changed the deterministic snapshot:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSimElasticThroughSubstrate drives one elastic run through the
+// substrate seam and checks the churn measurements surface in
+// RunResult.
+func TestSimElasticThroughSubstrate(t *testing.T) {
+	sim, spec := goldenSimSpec()
+	spec.Membership = &membership.Schedule{Events: []membership.Event{
+		{At: 2 * time.Second, Node: 8, Kind: membership.Join},
+		{At: 10 * time.Second, Node: 8, Kind: membership.Drain},
+		{At: 20 * time.Second, Node: 8, Kind: membership.Leave},
+	}}
+	res, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins != 1 || res.Drains != 1 || res.Leaves != 1 {
+		t.Fatalf("churn %d/%d/%d, want 1/1/1", res.Joins, res.Drains, res.Leaves)
+	}
+	if res.FinalPool != spec.Servers || res.PeakPool != spec.Servers+1 {
+		t.Fatalf("pool final=%d peak=%d", res.FinalPool, res.PeakPool)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost %d accesses across a graceful scale cycle", res.Lost)
+	}
+	if res.Metrics.Value(obs.MetricMembershipJoins) != 1 {
+		t.Fatal("membership metrics missing from elastic snapshot")
+	}
+}
+
+// TestProtoRejectsSpeedFactors pins the asymmetry: server speed is a
+// simulator concept, and the prototype refuses rather than silently
+// ignores it.
+func TestProtoRejectsSpeedFactors(t *testing.T) {
+	_, spec := goldenMemSpec()
+	spec.SpeedFactors = []float64{2, 1}
+	if _, err := (Proto{Transport: "mem"}).Run(spec); err == nil {
+		t.Fatal("proto accepted SpeedFactors")
+	}
+	spec.SpeedFactors = nil
+	spec.Servers = 2
+	// The simulator accepts them (validated against Servers).
+	spec2 := spec
+	spec2.SpeedFactors = []float64{2, 0.5}
+	if _, err := (Sim{}).Run(spec2); err != nil {
+		t.Fatalf("sim rejected matching SpeedFactors: %v", err)
+	}
+}

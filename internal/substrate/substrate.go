@@ -20,6 +20,7 @@ import (
 	"finelb/internal/cluster"
 	"finelb/internal/core"
 	"finelb/internal/faults"
+	"finelb/internal/membership"
 	"finelb/internal/obs"
 	"finelb/internal/simcluster"
 	"finelb/internal/transport"
@@ -43,6 +44,19 @@ type RunSpec struct {
 	// Faults, when non-nil and active, injects the schedule into the
 	// run on either substrate (see internal/faults).
 	Faults *faults.Schedule
+	// Membership, when active, replays the elastic-membership schedule
+	// (internal/membership) on either substrate: the simulator on its
+	// event clock, the prototype on the scaled wall clock. Inert
+	// schedules leave both substrates bit-identical to a fixed pool.
+	Membership *membership.Schedule
+	// Autoscaler, when active, runs the shared load-threshold autoscaler
+	// on either substrate.
+	Autoscaler *membership.AutoscalerConfig
+	// SpeedFactors gives each server a heterogeneous work rate on the
+	// simulator (see simcluster.Config.SpeedFactors). The prototype
+	// emulates service times by sleeping, so it cannot honor factors
+	// and rejects a spec that sets them.
+	SpeedFactors []float64
 	// DirTTL overrides the prototype directory's soft-state TTL (fault
 	// runs use a short TTL so crashed nodes expire quickly). The
 	// simulator has no directory and ignores it.
@@ -90,6 +104,12 @@ type RunResult struct {
 	// in. Zero on the prototype substrate, which has no event loop.
 	EventsFired uint64
 
+	// Elastic membership (zero churn on fixed-pool runs, where
+	// FinalPool = PeakPool = Servers): pool transitions applied and the
+	// routable pool size at the end of the run and at its peak.
+	Joins, Drains, Leaves int64
+	FinalPool, PeakPool   int
+
 	// Metrics is the run's end-of-run snapshot of the shared
 	// obs.RunMetrics catalog. Both substrates emit the same metric name
 	// set, which is what makes their snapshots directly comparable.
@@ -115,13 +135,16 @@ func (Sim) Name() string { return "sim" }
 // Run implements Substrate.
 func (Sim) Run(spec RunSpec) (*RunResult, error) {
 	res, err := simcluster.Run(simcluster.Config{
-		Servers:  spec.Servers,
-		Clients:  spec.Clients,
-		Workload: spec.Workload,
-		Policy:   spec.Policy,
-		Accesses: spec.Accesses,
-		Seed:     spec.Seed,
-		Faults:   spec.Faults,
+		Servers:      spec.Servers,
+		Clients:      spec.Clients,
+		Workload:     spec.Workload,
+		Policy:       spec.Policy,
+		Accesses:     spec.Accesses,
+		Seed:         spec.Seed,
+		Faults:       spec.Faults,
+		Membership:   spec.Membership,
+		Autoscaler:   spec.Autoscaler,
+		SpeedFactors: spec.SpeedFactors,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("substrate sim: %w", err)
@@ -141,6 +164,11 @@ func (Sim) Run(spec RunSpec) (*RunResult, error) {
 		Lost:           res.Lost,
 		Retries:        res.Retries,
 		EventsFired:    res.EventsFired,
+		Joins:          res.Joins,
+		Drains:         res.Drains,
+		Leaves:         res.Leaves,
+		FinalPool:      res.FinalPool,
+		PeakPool:       res.PeakPool,
 		Metrics:        res.Metrics,
 	}, nil
 }
@@ -171,6 +199,9 @@ func (p Proto) Name() string {
 
 // Run implements Substrate.
 func (p Proto) Run(spec RunSpec) (*RunResult, error) {
+	if len(spec.SpeedFactors) > 0 {
+		return nil, fmt.Errorf("substrate %s: SpeedFactors are simulator-only (the prototype emulates service time, not server speed)", p.Name())
+	}
 	var tr transport.Transport
 	switch p.Transport {
 	case "", "net":
@@ -190,6 +221,8 @@ func (p Proto) Run(spec RunSpec) (*RunResult, error) {
 		Accesses:        spec.Accesses,
 		Seed:            spec.Seed,
 		Faults:          spec.Faults,
+		Membership:      spec.Membership,
+		Autoscaler:      spec.Autoscaler,
 		DirTTL:          spec.DirTTL,
 		QuarantineAfter: spec.QuarantineAfter,
 	})
@@ -210,6 +243,11 @@ func (p Proto) Run(spec RunSpec) (*RunResult, error) {
 		PollsLate:      res.LateAnswers,
 		Lost:           res.Lost,
 		Retries:        res.Retries,
+		Joins:          res.Joins,
+		Drains:         res.Drains,
+		Leaves:         res.Leaves,
+		FinalPool:      res.FinalPool,
+		PeakPool:       res.PeakPool,
 		Metrics:        res.Metrics,
 	}, nil
 }

@@ -165,6 +165,20 @@ func (w Workload) Generate(n int, seed uint64) Trace {
 	return tr
 }
 
+// WithDiurnalArrivals replaces the workload's arrival process with a
+// time-inhomogeneous Poisson one that has the same long-run mean
+// inter-arrival time but a sinusoidal day/night rate swing of depth amp
+// over one period: the run starts at the trough, peaks at period/2 at
+// (1+amp)x the average rate, and subsides. This is the open-loop trace
+// the elastic experiments drive the autoscaler with. Apply it after
+// ScaledTo so the average rate matches the demand target.
+func (w Workload) WithDiurnalArrivals(amp, period float64) Workload {
+	out := w
+	out.Name = fmt.Sprintf("%s (diurnal amp %g)", w.Name, amp)
+	out.Arrival = stats.NewDiurnal(w.Arrival.Mean(), amp, period)
+	return out
+}
+
 // WithBurstyArrivals replaces the workload's arrival process with a
 // Markov-modulated (two-phase) one that has the same mean inter-arrival
 // time but correlated bursts of intensity `burst` (busy spells of
