@@ -128,10 +128,27 @@ type Client struct {
 	rng         *stats.RNG
 	rr          core.RoundRobinState
 	endpoints   []Endpoint
+	ident       []int                 // identity permutation scratch for poll-set selection
 	agents      map[string]*pollAgent // by load address
 	pools       map[string]*connPool  // by access address
 	outstanding map[int]int           // this client's in-flight accesses by NodeID (LocalLeast)
 	health      map[int]*serverHealth // quarantine state by NodeID
+
+	// rounds pools pollRound scratch structs (slot tables, encode
+	// buffer, timer) so steady-state poll rounds allocate nothing;
+	// pollPath counts their reuse on a private registry (run snapshots
+	// never include these names).
+	rounds   sync.Pool
+	pollPath *obs.PollPathMetrics
+
+	// latePruned preserves the late-answer counts of agents closed by
+	// Refresh pruning, so LateAnswers stays monotone across membership
+	// churn. absentSince records when a held address was first missing
+	// from the mapping table; pruning waits out a soft-state TTL so a
+	// starved republish (one missed heartbeat under load) doesn't tear
+	// down live sockets.
+	latePruned  int64
+	absentSince map[string]time.Time
 
 	mgr *managerClient
 
@@ -210,8 +227,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		rng:         stats.NewRNG(cfg.Seed ^ 0xc1e9a7b3d5f01234),
 		agents:      make(map[string]*pollAgent),
 		pools:       make(map[string]*connPool),
+		absentSince: make(map[string]time.Time),
 		outstanding: make(map[int]int),
 		health:      make(map[int]*serverHealth),
+		pollPath:    obs.NewPollPathMetrics(nil),
 		done:        make(chan struct{}),
 	}
 	if cfg.Policy.Kind == core.Ideal {
@@ -244,7 +263,68 @@ func (c *Client) Refresh() {
 	}
 	c.mu.Lock()
 	c.endpoints = eps
+	c.pruneLocked()
 	c.mu.Unlock()
+}
+
+// pruneGrace is how long an address must stay missing from the
+// mapping table before Refresh closes its sockets. One soft-state TTL
+// distinguishes a genuinely departed server from a republish that
+// arrived late under load: a single starved heartbeat expires an entry
+// for at most one publish interval, well inside the grace, while a
+// drained server stays absent and is pruned one TTL after its entry
+// expires.
+const pruneGrace = DefaultTTL
+
+// pruneLocked closes the poll agents and connection pools of servers
+// that left the mapping table at least pruneGrace ago, so an elastic
+// pool's membership churn cannot accumulate sockets toward departed
+// nodes (the FD-reuse audit in DESIGN.md §12: one UDP socket per live
+// polled server, one bounded TCP pool per live access address, nothing
+// for the long dead). A round in flight may still hold a pruned agent;
+// its sends fail as a dead port would (ErrClosed → silence) and its
+// answers are dropped by the agent's closed check, exactly like a
+// crashed server. Caller holds c.mu.
+func (c *Client) pruneLocked() {
+	now := time.Now()
+	for addr, a := range c.agents {
+		if c.keepLocked(addr, now, func(ep *Endpoint) string { return ep.LoadAddr }) {
+			continue
+		}
+		delete(c.agents, addr)
+		c.latePruned += a.lateCount()
+		a.close()
+	}
+	for addr, p := range c.pools {
+		if c.keepLocked(addr, now, func(ep *Endpoint) string { return ep.AccessAddr }) {
+			continue
+		}
+		delete(c.pools, addr)
+		p.closeAll()
+	}
+}
+
+// keepLocked reports whether the resources held for addr should
+// survive this refresh, updating the absence bookkeeping: present
+// addresses clear their absence mark, missing ones are pruned only
+// once they have been missing for pruneGrace. Caller holds c.mu.
+func (c *Client) keepLocked(addr string, now time.Time, key func(*Endpoint) string) bool {
+	for i := range c.endpoints {
+		if key(&c.endpoints[i]) == addr {
+			delete(c.absentSince, addr)
+			return true
+		}
+	}
+	first, ok := c.absentSince[addr]
+	if !ok {
+		c.absentSince[addr] = now
+		return true
+	}
+	if now.Sub(first) < pruneGrace {
+		return true
+	}
+	delete(c.absentSince, addr)
+	return false
 }
 
 func (c *Client) refreshLoop() {
@@ -312,7 +392,7 @@ func (c *Client) agent(ep Endpoint) (*pollAgent, error) {
 func (c *Client) LateAnswers() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var n int64
+	n := c.latePruned
 	for _, a := range c.agents {
 		n += a.lateCount()
 	}
@@ -681,35 +761,38 @@ func (c *Client) pollAndPick(eps, live []Endpoint, info *AccessInfo) (Endpoint, 
 }
 
 // pollOnce runs one poll round: send load inquiries to PollSize random
-// servers through connected UDP sockets, collect answers
-// asynchronously, discard those not answered within the deadline, and
-// pick the least-loaded respondent. ok is false when not a single
-// answer arrived in time.
+// servers through connected UDP sockets, let the agents' read loops
+// demultiplex answers into the round's slots, discard those not
+// answered within the deadline, and pick the least-loaded respondent.
+// ok is false when not a single answer arrived in time.
+//
+// The round is pooled scratch (pollround.go): the fan-out writes every
+// inquiry from one reusable encode buffer, the owner parks on a single
+// select — woken once, by the completing answer or the deadline — and
+// steady-state rounds allocate nothing. The RNG and sequence-number
+// streams are exactly those of the historical per-reply-channel
+// implementation: ChooseIdentity draws the same poll set Choose did,
+// and seq numbers are taken per inquiry in poll-set order.
 func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok bool, err error) {
 	d := c.cfg.Policy.PollSize
 	if d > len(eps) {
 		d = len(eps)
 	}
-	// Choose the poll set.
+	r := c.getRound(d)
+	c.pollPath.Rounds.Inc()
+
+	// Choose the poll set. The identity scratch persists across rounds;
+	// ChooseIdentity restores it, so growth is the only maintenance.
 	c.mu.Lock()
-	scratch := make([]int, len(eps))
-	polled := make([]int, d)
-	c.rng.Choose(polled, len(eps), scratch)
+	for len(c.ident) < len(eps) {
+		c.ident = append(c.ident, len(c.ident))
+	}
+	c.rng.ChooseIdentity(r.polled, len(eps), c.ident, r.swaps)
 	c.mu.Unlock()
 
-	type answer struct {
-		epIdx int
-		load  int
-		rtt   time.Duration
-	}
-	answers := make(chan answer, d)
-	start := time.Now()
-
+	r.start = time.Now()
 	sent := 0
-	seqs := make([]uint32, 0, d)
-	agents := make([]*pollAgent, 0, d)
-	inFlight := make([]int, 0, d) // epIdx of every inquiry awaited
-	for _, epIdx := range polled {
+	for _, epIdx := range r.polled {
 		target := eps[epIdx]
 		a, agentErr := c.agent(target)
 		if agentErr != nil {
@@ -717,77 +800,108 @@ func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok boo
 			continue // node vanished between refreshes; poll fewer
 		}
 		seq := c.seq.Add(1)
-		epIdx := epIdx
-		cb := func(load int) {
-			select {
-			case answers <- answer{epIdx: epIdx, load: load, rtt: time.Since(start)}:
-			default:
-			}
-		}
-		if err := a.inquire(seq, cb); err != nil {
+		// The slot is published before the inquiry is registered, so the
+		// read loop's deliver always finds it initialized.
+		r.epIdx[sent] = epIdx
+		if err := a.inquire(seq, r, r.gen, int32(sent), r.sendBuf); err != nil {
 			// A refused send is the OS reporting the port dead
 			// (ICMP-backed ECONNREFUSED on a connected UDP socket).
 			c.noteSilent(target.NodeID)
 			continue
 		}
-		seqs = append(seqs, seq)
-		agents = append(agents, a)
-		inFlight = append(inFlight, epIdx)
+		r.seqs[sent] = seq
+		r.agents[sent] = a
 		sent++
 	}
 	info.Polled += sent
 	c.cfg.Metrics.PollRequests.Add(int64(sent))
+	c.pollPath.BatchSize.Observe(float64(sent))
 
 	deadline := c.cfg.PollTimeout
 	if da := c.cfg.Policy.DiscardAfter; da > 0 && da < deadline {
 		deadline = da
 	}
-	// A fresh timer every round: a retry must get the full deadline, not
-	// the remains of an already-fired one.
-	timer := time.NewTimer(deadline)
-	defer timer.Stop()
-
-	responses := make([]core.PollResponse, 0, sent)
-	answered := make(map[int]bool, sent)
-collect:
-	for len(responses) < sent {
+	if sent > 0 && !r.arm(sent) {
+		// One wakeup, one deadline: the round's pooled timer gets a fresh
+		// Reset every use — a retry round must see the full deadline, not
+		// the remains of an already-fired one.
+		if r.timer == nil {
+			r.timer = time.NewTimer(deadline)
+		} else {
+			r.timer.Reset(deadline)
+		}
 		select {
-		case ans := <-answers:
-			responses = append(responses, core.PollResponse{Server: ans.epIdx, Load: ans.load})
-			answered[ans.epIdx] = true
-			info.PollRTTs = append(info.PollRTTs, ans.rtt)
-			c.cfg.Metrics.PollRTTSeconds.Observe(ans.rtt.Seconds())
-		case <-timer.C:
-			break collect
+		case <-r.done:
+		case <-r.timer.C:
 		case <-c.done:
+			r.abandon(sent)
+			c.putRound(r)
 			return Endpoint{}, false, fmt.Errorf("cluster: client closed during poll")
+		}
+		if !r.timer.Stop() {
+			select {
+			case <-r.timer.C:
+			default:
+			}
 		}
 	}
 	// Abandon stragglers: their late answers are dropped by the agent.
-	for i, seq := range seqs {
-		agents[i].cancel(seq)
+	// After this the answer slots are the owner's to read, lock-free.
+	r.abandon(sent)
+
+	r.responses = r.responses[:0]
+	for i := 0; i < sent; i++ {
+		load := r.loads[i]
+		if load < 0 {
+			continue
+		}
+		r.responses = append(r.responses, core.PollResponse{Server: r.epIdx[i], Load: int(load)})
+		rtt := r.rtts[i]
+		info.PollRTTs = append(info.PollRTTs, rtt)
+		c.cfg.Metrics.PollRTTSeconds.Observe(rtt.Seconds())
 	}
-	info.Answered += len(responses)
-	info.Discarded += sent - len(responses)
-	info.PollTime += time.Since(start)
-	c.cfg.Metrics.PollResponses.Add(int64(len(responses)))
-	c.cfg.Metrics.PollDiscards.Add(int64(sent - len(responses)))
+	answered := len(r.responses)
+	info.Answered += answered
+	info.Discarded += sent - answered
+	info.PollTime += time.Since(r.start)
+	c.cfg.Metrics.PollResponses.Add(int64(answered))
+	c.cfg.Metrics.PollDiscards.Add(int64(sent - answered))
 
 	// Failure detection: an answer is proof of life; silence is a
 	// strike, and consecutive strikes quarantine.
-	for _, epIdx := range inFlight {
-		if answered[epIdx] {
-			c.noteAnswered(eps[epIdx].NodeID)
+	for i := 0; i < sent; i++ {
+		if r.loads[i] >= 0 {
+			c.noteAnswered(eps[r.epIdx[i]].NodeID)
 		} else {
-			c.noteSilent(eps[epIdx].NodeID)
+			c.noteSilent(eps[r.epIdx[i]].NodeID)
 		}
 	}
 
-	if len(responses) == 0 {
+	if answered == 0 {
+		c.putRound(r)
 		return Endpoint{}, false, nil
 	}
 	c.mu.Lock()
-	pick := core.PickFromPolls(c.rng, responses, polled)
+	pick := core.PickFromPolls(c.rng, r.responses, r.polled)
 	c.mu.Unlock()
-	return eps[pick], true, nil
+	ep = eps[pick]
+	c.putRound(r)
+	return ep, true, nil
+}
+
+// PollPath exposes the client's poll hot-path instrumentation (rounds,
+// batch sizes, scratch reuse). These live on a private registry so run
+// metric snapshots — and their golden digests — never see them.
+func (c *Client) PollPath() *obs.PollPathMetrics {
+	return c.pollPath
+}
+
+// PollRound runs exactly one poll round against eps — encode, fan-out,
+// demux, decision — with no service access attached, and reports the
+// chosen endpoint. ok is false when no server answered within the
+// deadline. This is the entry point the pollpath benchmark record
+// (cmd/repro, BENCH_pollpath.json) and the in-package benchmarks drive;
+// Access remains the production path.
+func (c *Client) PollRound(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok bool, err error) {
+	return c.pollOnce(eps, info)
 }

@@ -101,9 +101,15 @@ func (d *Directory) Withdraw(nodeID int, service string) {
 // Lookup returns the live endpoints offering the service and partition,
 // sorted by node id for stable ordering. Expired entries are pruned.
 func (d *Directory) Lookup(service string, partition uint32) []Endpoint {
+	return d.LookupAppend(nil, service, partition)
+}
+
+// LookupAppend is Lookup appending into out, so a caller serving a
+// query stream (DirServer) can reuse one backing array across queries.
+func (d *Directory) LookupAppend(out []Endpoint, service string, partition uint32) []Endpoint {
+	base := len(out)
 	now := d.now()
 	d.mu.Lock()
-	var out []Endpoint
 	for k, e := range d.entries {
 		if now.After(e.expires) {
 			delete(d.entries, k)
@@ -114,7 +120,8 @@ func (d *Directory) Lookup(service string, partition uint32) []Endpoint {
 		}
 	}
 	d.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	added := out[base:]
+	sort.Slice(added, func(i, j int) bool { return added[i].NodeID < added[j].NodeID })
 	return out
 }
 

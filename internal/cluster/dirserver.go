@@ -70,70 +70,89 @@ func (s *DirServer) Close() error {
 	return nil
 }
 
+var (
+	verbPub  = []byte("PUB")
+	verbGet  = []byte("GET")
+	replyEnd = []byte("END")
+)
+
 func (s *DirServer) serve() {
 	defer s.wg.Done()
+	// One read buffer and one reply buffer for the server's lifetime:
+	// directory datagrams are parsed in place and replies appended into
+	// out, so steady-state serving allocates only what the directory
+	// itself stores (DESIGN.md §12).
 	buf := make([]byte, 64*1024)
+	out := make([]byte, 0, 4096)
+	var eps []Endpoint
 	for {
 		m, from, err := s.conn.ReadFrom(buf)
 		if err != nil {
 			return
 		}
-		reply := s.handle(string(buf[:m]))
-		if reply != "" {
-			_, _ = s.conn.WriteTo([]byte(reply), from)
+		out, eps = s.handle(buf[:m], out[:0], eps[:0])
+		if len(out) > 0 {
+			_, _ = s.conn.WriteTo(out, from)
 		}
 	}
 }
 
-// handle parses one request; it returns the reply payload ("" = none).
-func (s *DirServer) handle(msg string) string {
-	fields := strings.Fields(msg)
+// handle parses one request from msg and appends the reply payload to
+// out (empty = no reply). eps is lookup scratch; both are returned so
+// the caller can reuse their backing arrays.
+func (s *DirServer) handle(msg, out []byte, eps []Endpoint) ([]byte, []Endpoint) {
+	fields := bytes.Fields(msg)
 	if len(fields) == 0 {
-		return ""
+		return out, eps
 	}
-	switch fields[0] {
-	case "PUB":
+	switch {
+	case bytes.Equal(fields[0], verbPub):
 		if len(fields) != 6 {
-			return ""
+			return out, eps
 		}
-		id, err := strconv.Atoi(fields[1])
+		id, err := strconv.Atoi(string(fields[1]))
 		if err != nil {
-			return ""
+			return out, eps
 		}
 		ep := Endpoint{
-			NodeID: id, Service: fields[2],
-			AccessAddr: fields[3], LoadAddr: fields[4],
+			NodeID: id, Service: string(fields[2]),
+			AccessAddr: string(fields[3]), LoadAddr: string(fields[4]),
 		}
-		if fields[5] != "-" {
-			for _, p := range strings.Split(fields[5], ",") {
+		if !bytes.Equal(fields[5], []byte("-")) {
+			for _, p := range strings.Split(string(fields[5]), ",") {
 				v, err := strconv.ParseUint(p, 10, 32)
 				if err != nil {
-					return ""
+					return out, eps
 				}
 				ep.Partitions = append(ep.Partitions, uint32(v))
 			}
 		}
 		s.dir.Publish(ep)
-		return ""
-	case "GET":
+		return out, eps
+	case bytes.Equal(fields[0], verbGet):
 		if len(fields) != 3 {
-			return ""
+			return out, eps
 		}
-		part, err := strconv.ParseUint(fields[2], 10, 32)
+		part, err := strconv.ParseUint(string(fields[2]), 10, 32)
 		if err != nil {
-			return ""
+			return out, eps
 		}
-		eps := s.dir.Lookup(fields[1], uint32(part))
+		eps = s.dir.LookupAppend(eps, string(fields[1]), uint32(part))
 		if len(eps) == 0 {
-			return "END"
+			return append(out, replyEnd...), eps
 		}
-		var b bytes.Buffer
 		for _, ep := range eps {
-			fmt.Fprintf(&b, "EP %d %s %s\n", ep.NodeID, ep.AccessAddr, ep.LoadAddr)
+			out = append(out, "EP "...)
+			out = strconv.AppendInt(out, int64(ep.NodeID), 10)
+			out = append(out, ' ')
+			out = append(out, ep.AccessAddr...)
+			out = append(out, ' ')
+			out = append(out, ep.LoadAddr...)
+			out = append(out, '\n')
 		}
-		return b.String()
+		return out, eps
 	default:
-		return ""
+		return out, eps
 	}
 }
 
@@ -145,6 +164,8 @@ type RemoteDirectory struct {
 
 	mu   sync.Mutex
 	conn transport.PacketConn
+	out  []byte // request encode scratch, reused under mu
+	buf  []byte // reply read buffer, reused under mu
 }
 
 // DialDirectory connects (in the datagram sense) to a DirServer over
@@ -164,21 +185,33 @@ func DialDirectory(tr transport.Transport, addr string) (*RemoteDirectory, error
 // Close releases the socket.
 func (r *RemoteDirectory) Close() error { return r.conn.Close() }
 
-// Publish sends one soft-state announcement.
+// Publish sends one soft-state announcement. The request is encoded
+// into the stub's reusable scratch buffer, so a node's periodic
+// republish loop allocates nothing per announcement.
 func (r *RemoteDirectory) Publish(ep Endpoint) error {
-	parts := "-"
-	if len(ep.Partitions) > 0 {
-		strs := make([]string, len(ep.Partitions))
-		for i, p := range ep.Partitions {
-			strs[i] = strconv.FormatUint(uint64(p), 10)
-		}
-		parts = strings.Join(strs, ",")
-	}
-	msg := fmt.Sprintf("PUB %d %s %s %s %s",
-		ep.NodeID, ep.Service, ep.AccessAddr, ep.LoadAddr, parts)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, err := r.conn.Write([]byte(msg))
+	out := append(r.out[:0], "PUB "...)
+	out = strconv.AppendInt(out, int64(ep.NodeID), 10)
+	out = append(out, ' ')
+	out = append(out, ep.Service...)
+	out = append(out, ' ')
+	out = append(out, ep.AccessAddr...)
+	out = append(out, ' ')
+	out = append(out, ep.LoadAddr...)
+	out = append(out, ' ')
+	if len(ep.Partitions) == 0 {
+		out = append(out, '-')
+	} else {
+		for i, p := range ep.Partitions {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = strconv.AppendUint(out, uint64(p), 10)
+		}
+	}
+	r.out = out
+	_, err := r.conn.Write(out)
 	return err
 }
 
@@ -186,14 +219,21 @@ func (r *RemoteDirectory) Publish(ep Endpoint) error {
 func (r *RemoteDirectory) Lookup(service string, partition uint32) ([]Endpoint, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	msg := fmt.Sprintf("GET %s %d", service, partition)
-	if _, err := r.conn.Write([]byte(msg)); err != nil {
+	out := append(r.out[:0], "GET "...)
+	out = append(out, service...)
+	out = append(out, ' ')
+	out = strconv.AppendUint(out, uint64(partition), 10)
+	r.out = out
+	if _, err := r.conn.Write(out); err != nil {
 		return nil, err
 	}
 	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 64*1024)
+	if r.buf == nil {
+		r.buf = make([]byte, 64*1024)
+	}
+	buf := r.buf
 	m, err := r.conn.Read(buf)
 	if err != nil {
 		return nil, err

@@ -123,7 +123,7 @@ func TestDirServerHandleMalformed(t *testing.T) {
 		"", "NOPE", "PUB", "PUB x svc a b -", "PUB 1 svc a b x,y",
 		"GET", "GET svc notanumber",
 	} {
-		if reply := s.handle(msg); reply != "" && msg != "GET svc notanumber" {
+		if reply, _ := s.handle([]byte(msg), nil, nil); len(reply) != 0 && msg != "GET svc notanumber" {
 			t.Errorf("handle(%q) = %q, want empty", msg, reply)
 		}
 	}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// The protocol fuzz suite holds every decoder to the same contract:
+// arbitrary input — truncated, oversized, garbage — never panics and
+// never allocates beyond the maxPayload bound, and any input a decoder
+// accepts round-trips bit-identically through the matching encoder.
+// Seed corpora live under testdata/fuzz; CI replays them in short mode
+// (-run=Fuzz) and fuzzes briefly (-fuzztime=10s) in the race job.
+
+// encodeRequest frames req into a byte slice via the production writer.
+func encodeRequest(t testing.TB, req *Request) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteRequest(bufio.NewWriter(&b), req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	return b.Bytes()
+}
+
+// encodeResponse frames resp into a byte slice via the production writer.
+func encodeResponse(t testing.TB, resp *Response) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteResponse(bufio.NewWriter(&b), resp); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	return b.Bytes()
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(encodeRequest(f, &Request{ID: 1, Service: "svc", Partition: 2, ServiceUs: 300, Payload: []byte("hello")}))
+	f.Add(encodeRequest(f, &Request{ID: 0, Service: "", Payload: nil}))
+	f.Add([]byte{})
+	f.Add([]byte{magicRequest})
+	f.Add([]byte{magicRequest, protoVersion, 1, 2, 3})
+	f.Add([]byte{magicResponse, protoVersion}) // wrong magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64))      // oversized length fields everywhere
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(req.Payload) > maxPayload {
+			t.Fatalf("decoded payload of %d bytes exceeds maxPayload", len(req.Payload))
+		}
+		if len(req.Service) > maxServiceName {
+			t.Fatalf("decoded service name of %d bytes exceeds maxServiceName", len(req.Service))
+		}
+		// Accepted input must survive encode∘decode unchanged (the input
+		// may have trailing bytes the decoder ignores, so compare values,
+		// not raw bytes).
+		again, err := ReadRequest(bufio.NewReader(bytes.NewReader(encodeRequest(t, req))))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded request: %v", err)
+		}
+		if again.ID != req.ID || again.Service != req.Service ||
+			again.Partition != req.Partition || again.ServiceUs != req.ServiceUs ||
+			!bytes.Equal(again.Payload, req.Payload) {
+			t.Fatalf("request round trip mismatch: %+v != %+v", again, req)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(encodeResponse(f, &Response{ID: 1, Status: StatusOK, Load: 3, Payload: []byte("ok")}))
+	f.Add(encodeResponse(f, &Response{ID: 0, Status: StatusOverload}))
+	f.Add([]byte{})
+	f.Add([]byte{magicResponse})
+	f.Add([]byte{magicResponse, protoVersion, 9, 9})
+	f.Add([]byte{magicRequest, protoVersion}) // wrong magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(resp.Payload) > maxPayload {
+			t.Fatalf("decoded payload of %d bytes exceeds maxPayload", len(resp.Payload))
+		}
+		again, err := ReadResponse(bufio.NewReader(bytes.NewReader(encodeResponse(t, resp))))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded response: %v", err)
+		}
+		if again.ID != resp.ID || again.Status != resp.Status ||
+			again.Load != resp.Load || !bytes.Equal(again.Payload, resp.Payload) {
+			t.Fatalf("response round trip mismatch: %+v != %+v", again, resp)
+		}
+	})
+}
+
+func FuzzDecodeInquiry(f *testing.F) {
+	f.Add(EncodeInquiry(nil, 0))
+	f.Add(EncodeInquiry(nil, 0xdeadbeef))
+	f.Add([]byte{})
+	f.Add([]byte{magicInquiry})
+	f.Add([]byte{magicLoad, 1, 2, 3, 4}) // wrong magic, right size
+	f.Add(bytes.Repeat([]byte{magicInquiry}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, err := DecodeInquiry(data)
+		if err != nil {
+			return
+		}
+		// A fixed-size datagram the decoder accepts must re-encode to the
+		// exact input bytes.
+		if out := EncodeInquiry(nil, seq); !bytes.Equal(out, data) {
+			t.Fatalf("inquiry round trip: %x != %x", out, data)
+		}
+	})
+}
+
+func FuzzDecodeLoad(f *testing.F) {
+	f.Add(EncodeLoad(nil, 0, 0))
+	f.Add(EncodeLoad(nil, 7, 42))
+	f.Add([]byte{})
+	f.Add([]byte{magicLoad})
+	f.Add([]byte{magicInquiry, 1, 2, 3, 4, 5, 6, 7, 8}) // wrong magic, right size
+	f.Add(bytes.Repeat([]byte{magicLoad}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, load, err := DecodeLoad(data)
+		if err != nil {
+			return
+		}
+		if out := EncodeLoad(nil, seq, load); !bytes.Equal(out, data) {
+			t.Fatalf("load round trip: %x != %x", out, data)
+		}
+	})
+}
+
+// TestProtocolRoundTripQuick checks encode∘decode = id over randomized
+// values of every message type, including the boundary sizes the fuzz
+// corpora can take longer to reach.
+func TestProtocolRoundTripQuick(t *testing.T) {
+	if err := quick.Check(func(id uint64, svc []byte, part, serviceUs uint32, payload []byte) bool {
+		if len(svc) > maxServiceName {
+			svc = svc[:maxServiceName]
+		}
+		if len(payload) > maxPayload {
+			payload = payload[:maxPayload]
+		}
+		req := &Request{ID: id, Service: string(svc), Partition: part, ServiceUs: serviceUs, Payload: payload}
+		got, err := ReadRequest(bufio.NewReader(bytes.NewReader(encodeRequest(t, req))))
+		if err != nil {
+			t.Logf("ReadRequest: %v", err)
+			return false
+		}
+		return got.ID == req.ID && got.Service == req.Service &&
+			got.Partition == req.Partition && got.ServiceUs == req.ServiceUs &&
+			bytes.Equal(got.Payload, req.Payload)
+	}, nil); err != nil {
+		t.Errorf("request: %v", err)
+	}
+
+	if err := quick.Check(func(id uint64, status uint8, load uint32, payload []byte) bool {
+		if len(payload) > maxPayload {
+			payload = payload[:maxPayload]
+		}
+		resp := &Response{ID: id, Status: status, Load: load, Payload: payload}
+		got, err := ReadResponse(bufio.NewReader(bytes.NewReader(encodeResponse(t, resp))))
+		if err != nil {
+			t.Logf("ReadResponse: %v", err)
+			return false
+		}
+		return got.ID == resp.ID && got.Status == resp.Status &&
+			got.Load == resp.Load && bytes.Equal(got.Payload, resp.Payload)
+	}, nil); err != nil {
+		t.Errorf("response: %v", err)
+	}
+
+	if err := quick.Check(func(seq uint32) bool {
+		got, err := DecodeInquiry(EncodeInquiry(nil, seq))
+		return err == nil && got == seq
+	}, nil); err != nil {
+		t.Errorf("inquiry: %v", err)
+	}
+
+	if err := quick.Check(func(seq, load uint32) bool {
+		gotSeq, gotLoad, err := DecodeLoad(EncodeLoad(nil, seq, load))
+		return err == nil && gotSeq == seq && gotLoad == load
+	}, nil); err != nil {
+		t.Errorf("load: %v", err)
+	}
+}
+
+// TestDatagramDecodersRejectGarbage pins the malformed-input behavior
+// the read paths rely on: truncated, oversized, and wrong-magic
+// datagrams fail with the fixed sentinel errors (no allocation) and
+// never panic.
+func TestDatagramDecodersRejectGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{magicInquiry},
+		{magicLoad},
+		{magicInquiry, 1, 2, 3},          // one byte short
+		{magicLoad, 1, 2, 3, 4, 5, 6, 7}, // one byte short
+		bytes.Repeat([]byte{magicInquiry}, inquirySize+1),
+		bytes.Repeat([]byte{magicLoad}, loadSize+1),
+		bytes.Repeat([]byte{0x00}, 1<<16),
+	}
+	for _, p := range bad {
+		if _, err := DecodeInquiry(p); err == nil && len(p) == inquirySize && p[0] == magicInquiry {
+			continue // actually well-formed
+		} else if err == nil {
+			t.Errorf("DecodeInquiry(%d bytes) accepted garbage", len(p))
+		}
+		if _, _, err := DecodeLoad(p); err == nil && len(p) == loadSize && p[0] == magicLoad {
+			continue
+		} else if err == nil {
+			t.Errorf("DecodeLoad(%d bytes) accepted garbage", len(p))
+		}
+	}
+}

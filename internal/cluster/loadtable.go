@@ -1,0 +1,57 @@
+package cluster
+
+import "sync/atomic"
+
+// loadShards is the number of counter shards in a loadTable. Eight
+// 64-byte lines cover more concurrent writers than a node has workers
+// in any experiment config while keeping the reader's sum loop short.
+const loadShards = 8
+
+// loadShard is one cache-line-sized slice of the load index. Writers
+// hold a shard token and touch only their own line.
+type loadShard struct {
+	n atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line so shards never share one
+}
+
+// add moves the load index by d through this writer's shard.
+func (s *loadShard) add(d int64) { s.n.Add(d) }
+
+// loadTable is the node's load-index table (§3.1): the count of
+// accesses accepted and not yet answered, the quantity every load
+// inquiry answer reports. It is sharded across padded cache lines so
+// the accept/worker path (writers, one shard each) never contends
+// with the load-answer path (readers, which sum all shards) on a
+// single hot line — with synchronous inquiry delivery the answer path
+// runs on polling clients' goroutines, so a single shared counter
+// would bounce between every client core and the accept path.
+//
+// A read sums the shards without a snapshot, so concurrent updates
+// can make the sum transiently off by the number of in-flight
+// updates; load indices are already stale by one network round trip
+// by the time a client acts on them (§3.2), so this adds no new class
+// of error. The sum is clamped at zero so a transient reordering can
+// never be reported as a huge unsigned load.
+type loadTable struct {
+	shards [loadShards]loadShard
+	next   atomic.Uint32
+}
+
+// assign hands a writer its shard, round-robin. Called once per
+// writer goroutine (accept handler, worker) — not per request — so
+// the assignment counter is never hot.
+func (t *loadTable) assign() *loadShard {
+	return &t.shards[t.next.Add(1)%loadShards]
+}
+
+// load reads the current load index.
+func (t *loadTable) load() int64 {
+	var sum int64
+	for i := range t.shards {
+		sum += t.shards[i].n.Load()
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	return sum
+}

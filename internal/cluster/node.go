@@ -112,7 +112,7 @@ type Node struct {
 	ln       transport.Listener
 	loadConn transport.PacketConn
 
-	active atomic.Int64 // load index: accesses accepted and not yet answered
+	load loadTable // load index: accesses accepted and not yet answered
 
 	queue chan nodeTask
 	wg    sync.WaitGroup
@@ -139,6 +139,15 @@ type Node struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// Load-inquiry state shared by the synchronous handler path and the
+	// read-loop fallback. inqMu serializes only the contention-model
+	// rng draws across sender goroutines — never the reply write, so
+	// concurrent pollers to one node don't convoy behind each other's
+	// delivery chains. The read-loop fallback is a single goroutine, so
+	// there it is uncontended.
+	inqMu  sync.Mutex
+	inqRNG *stats.RNG
 
 	served    atomic.Int64
 	overloads atomic.Int64
@@ -219,15 +228,21 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		unpause:  closedChan(),
+		inqRNG:   stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		n.wg.Add(1)
 		go n.worker()
 	}
-	n.wg.Add(2)
+	n.wg.Add(1)
 	go n.acceptLoop()
-	go n.loadIndexLoop()
+	// Inquiries arrive as synchronous handler calls when the transport
+	// supports it (mem fabric); otherwise a read loop parks in ReadFrom.
+	if hc, ok := loadConn.(transport.HandlerPacketConn); !ok || !hc.SetPacketHandler(n.handleInquiry) {
+		n.wg.Add(1)
+		go n.loadIndexLoop()
+	}
 
 	if cfg.Directory != nil || cfg.RemoteDir != nil {
 		n.publish()
@@ -252,7 +267,7 @@ func (n *Node) LoadAddr() string { return n.loadConn.LocalAddr() }
 // LoadIndex returns the node's current load index: the total number of
 // active service accesses (queued plus in service), the paper's load
 // measure.
-func (n *Node) LoadIndex() int { return int(n.active.Load()) }
+func (n *Node) LoadIndex() int { return int(n.load.load()) }
 
 // Endpoint returns the node's published endpoint description.
 func (n *Node) Endpoint() Endpoint {
@@ -375,7 +390,7 @@ func (n *Node) Close() error {
 	})
 	n.wg.Wait()
 	n.gaugeDrain.Do(func() {
-		n.cfg.Metrics.ServerActive.Add(-n.active.Load())
+		n.cfg.Metrics.ServerActive.Add(-n.load.load())
 	})
 	return nil
 }
@@ -447,6 +462,7 @@ func (n *Node) serveConn(c net.Conn) {
 	}
 	nc := &nodeConn{c: c, w: bufio.NewWriter(c)}
 	r := bufio.NewReader(c)
+	sh := n.load.assign()
 	for {
 		req, err := ReadRequest(r)
 		if err != nil {
@@ -458,12 +474,12 @@ func (n *Node) serveConn(c net.Conn) {
 		}
 		// The access becomes active the moment it is accepted; this is
 		// the quantity the load-index server reports.
-		n.active.Add(1)
+		sh.add(1)
 		n.cfg.Metrics.ServerActive.Add(1)
 		select {
 		case n.queue <- nodeTask{req: req, conn: nc}:
 		default:
-			n.active.Add(-1)
+			sh.add(-1)
 			n.cfg.Metrics.ServerActive.Add(-1)
 			n.overloads.Add(1)
 			n.cfg.Metrics.ServerOverloads.Inc()
@@ -475,6 +491,7 @@ func (n *Node) serveConn(c net.Conn) {
 func (n *Node) worker() {
 	defer n.wg.Done()
 	var sl sleeper
+	sh := n.load.assign()
 	for {
 		select {
 		case <-n.done:
@@ -496,8 +513,8 @@ func (n *Node) worker() {
 					sl.sleep(d)
 				}
 			}
-			load := uint32(n.active.Load())
-			n.active.Add(-1)
+			load := uint32(n.load.load())
+			sh.add(-1)
 			n.served.Add(1)
 			n.cfg.Metrics.ServerActive.Add(-1)
 			n.cfg.Metrics.ServerServed.Inc()
@@ -568,57 +585,90 @@ func spinFor(d time.Duration) {
 	}
 }
 
-// loadIndexLoop answers UDP load inquiries (§3.1): the server side of
-// the random polling policy. Answers pass through the contention model
+// handleInquiry answers one UDP load inquiry (§3.1): the server side
+// of the random polling policy. It runs either synchronously on the
+// inquiring client's goroutine (HandlerPacketConn transports) or on
+// loadIndexLoop's goroutine. Answers pass through the contention model
 // described in DESIGN.md: a busy node occasionally answers slowly, the
 // way the paper's busy Linux nodes took >10 ms to answer a 290 µs
-// round-trip inquiry.
+// round-trip inquiry. The fast-path reply is encoded into a pooled
+// buffer and written after inqMu is released: on the synchronous path
+// the whole client-side demux chain runs inside WriteTo, and holding
+// the node's mutex across it would serialize every concurrent poller
+// of this node behind one delivery.
+func (n *Node) handleInquiry(p []byte, from string) {
+	seq, err := DecodeInquiry(p)
+	if err != nil {
+		return // ignore malformed datagrams
+	}
+	select {
+	case <-n.done:
+		return // shut down; a real socket would already be closed
+	default:
+	}
+	if n.paused.Load() {
+		// A stalled process answers nothing; the client's discard
+		// deadline (and quarantine) handles the silence.
+		n.dropped.Add(1)
+		n.cfg.Metrics.InquiriesDropped.Inc()
+		return
+	}
+	n.inqMu.Lock()
+	if n.cfg.DropProb > 0 && n.inqRNG.Float64() < n.cfg.DropProb {
+		n.inqMu.Unlock()
+		n.dropped.Add(1)
+		n.cfg.Metrics.InquiriesDropped.Inc()
+		return
+	}
+	n.inquiries.Add(1)
+	n.cfg.Metrics.InquiriesServed.Inc()
+	if n.load.load() > 0 && n.cfg.SlowProb > 0 && n.inqRNG.Float64() < n.cfg.SlowProb {
+		// Slow path: scheduling interference on a busy node.
+		n.slowPaths.Add(1)
+		n.cfg.Metrics.SlowAnswers.Inc()
+		delay := time.Duration(n.cfg.SlowDist.Sample(n.inqRNG) * float64(time.Second))
+		n.inqMu.Unlock()
+		time.AfterFunc(delay, func() {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			reply := EncodeLoad(make([]byte, 0, loadSize), seq, uint32(n.load.load()))
+			_, _ = n.loadConn.WriteTo(reply, from)
+		})
+		return
+	}
+	load := uint32(n.load.load())
+	n.inqMu.Unlock()
+	// The buffer is pooled, not per-node: WriteTo's contract is that
+	// the payload is consumed before it returns (DESIGN.md §12), so the
+	// buffer can be recycled immediately, and concurrent inquiries each
+	// hold their own.
+	bp := loadBufPool.Get().(*[]byte)
+	*bp = EncodeLoad((*bp)[:0], seq, load)
+	_, _ = n.loadConn.WriteTo(*bp, from)
+	loadBufPool.Put(bp)
+}
+
+// loadBufPool recycles load-answer datagram buffers across the
+// fast-path replies of every node in the process.
+var loadBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, loadSize)
+	return &b
+}}
+
+// loadIndexLoop is the read-loop fallback for transports without
+// synchronous handler delivery (real sockets): it parks in ReadFrom
+// and feeds each inquiry to handleInquiry.
 func (n *Node) loadIndexLoop() {
 	defer n.wg.Done()
-	rng := stats.NewRNG(n.cfg.Seed ^ 0x9e3779b97f4a7c15)
 	buf := make([]byte, 64)
-	out := make([]byte, 0, loadSize)
 	for {
 		m, from, err := n.loadConn.ReadFrom(buf)
 		if err != nil {
 			return // socket closed
 		}
-		seq, err := DecodeInquiry(buf[:m])
-		if err != nil {
-			continue // ignore malformed datagrams
-		}
-		if n.paused.Load() {
-			// A stalled process answers nothing; the client's discard
-			// deadline (and quarantine) handles the silence.
-			n.dropped.Add(1)
-			n.cfg.Metrics.InquiriesDropped.Inc()
-			continue
-		}
-		if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
-			n.dropped.Add(1)
-			n.cfg.Metrics.InquiriesDropped.Inc()
-			continue
-		}
-		n.inquiries.Add(1)
-		n.cfg.Metrics.InquiriesServed.Inc()
-		if n.active.Load() > 0 && n.cfg.SlowProb > 0 && rng.Float64() < n.cfg.SlowProb {
-			// Slow path: scheduling interference on a busy node.
-			n.slowPaths.Add(1)
-			n.cfg.Metrics.SlowAnswers.Inc()
-			delay := time.Duration(n.cfg.SlowDist.Sample(rng) * float64(time.Second))
-			seqCopy, fromCopy := seq, from
-			time.AfterFunc(delay, func() {
-				select {
-				case <-n.done:
-					return
-				default:
-				}
-				reply := EncodeLoad(make([]byte, 0, loadSize), seqCopy, uint32(n.active.Load()))
-				_, _ = n.loadConn.WriteTo(reply, fromCopy)
-			})
-			continue
-		}
-		out = EncodeLoad(out, seq, uint32(n.active.Load()))
-		_, _ = n.loadConn.WriteTo(out, from)
+		n.handleInquiry(buf[:m], from)
 	}
 }

@@ -9,18 +9,29 @@ import (
 	"finelb/internal/transport"
 )
 
+// pendingInquiry routes one outstanding load inquiry back to its poll
+// round: the agent's read loop demultiplexes answers by sequence
+// number straight into the round's answer slot — no per-reply
+// goroutine, channel, or closure. gen guards against the round having
+// been recycled between lookup and delivery.
+type pendingInquiry struct {
+	round *pollRound
+	gen   uint32
+	slot  int32
+}
+
 // pollAgent is the client side of the load-inquiry protocol for one
 // server: a connected datagram endpoint (as in §3.1) plus a
-// demultiplexer that routes answers back to the access goroutines
-// that asked, by sequence number. Late answers whose inquiry was
-// already cancelled (discarded) are dropped here — exactly the
-// prototype optimization of §3.2 — and counted, so the discard rate
-// is observable on either transport.
+// demultiplexer that routes answers back to the poll rounds that
+// asked, by sequence number. Late answers whose inquiry was already
+// cancelled (discarded) are dropped here — exactly the prototype
+// optimization of §3.2 — and counted, so the discard rate is
+// observable on either transport.
 type pollAgent struct {
 	conn transport.PacketConn
 
 	mu      sync.Mutex
-	pending map[uint32]func(load int)
+	pending map[uint32]pendingInquiry
 	closed  bool
 	late    int64        // answers that arrived after their inquiry was cancelled
 	lateCtr *obs.Counter // run-level poll_late_total (may be nil in unit tests)
@@ -33,11 +44,46 @@ func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link, 
 	}
 	a := &pollAgent{
 		conn:    conn,
-		pending: make(map[uint32]func(load int)),
+		pending: make(map[uint32]pendingInquiry),
 		lateCtr: late,
 	}
-	go a.readLoop()
+	// Answers arrive as synchronous handler calls when the transport
+	// supports it (mem fabric); otherwise a read loop parks in Read.
+	if hc, ok := conn.(transport.HandlerPacketConn); !ok || !hc.SetPacketHandler(a.handleAnswer) {
+		go a.readLoop()
+	}
 	return a, nil
+}
+
+// handleAnswer demultiplexes one load answer into the round that asked
+// for it. It runs either synchronously on whichever goroutine the
+// answering node replied from (HandlerPacketConn transports) or on
+// readLoop's goroutine, and never blocks beyond the two short mutexes.
+func (a *pollAgent) handleAnswer(p []byte, _ string) {
+	seq, load, err := DecodeLoad(p)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	pi, ok := a.pending[seq]
+	if ok {
+		delete(a.pending, seq)
+	} else {
+		// The inquiry was cancelled at its deadline before this
+		// answer arrived: a discarded slow poll (§3.2).
+		a.late++
+		if a.lateCtr != nil {
+			a.lateCtr.Inc()
+		}
+	}
+	a.mu.Unlock()
+	if ok {
+		pi.round.deliver(pi.gen, pi.slot, load)
+	}
 }
 
 func (a *pollAgent) readLoop() {
@@ -56,25 +102,7 @@ func (a *pollAgent) readLoop() {
 			// queued error) arrives, so this does not spin.
 			continue
 		}
-		seq, load, err := DecodeLoad(buf[:m])
-		if err != nil {
-			continue
-		}
-		a.mu.Lock()
-		cb := a.pending[seq]
-		if cb == nil {
-			// The inquiry was cancelled at its deadline before this
-			// answer arrived: a discarded slow poll (§3.2).
-			a.late++
-			if a.lateCtr != nil {
-				a.lateCtr.Inc()
-			}
-		}
-		delete(a.pending, seq)
-		a.mu.Unlock()
-		if cb != nil {
-			cb(int(load))
-		}
+		a.handleAnswer(buf[:m], "")
 	}
 }
 
@@ -85,18 +113,19 @@ func (a *pollAgent) lateCount() int64 {
 	return a.late
 }
 
-// inquire registers cb for seq and sends the inquiry datagram. cb runs
-// on the agent's read loop; it must not block.
-func (a *pollAgent) inquire(seq uint32, cb func(load int)) error {
+// inquire registers slot of round r for seq and sends the inquiry
+// datagram, encoded into buf — the round's pooled send buffer, which
+// is free for reuse as soon as Write returns (every transport copies
+// or finishes with the payload synchronously).
+func (a *pollAgent) inquire(seq uint32, r *pollRound, gen uint32, slot int32, buf []byte) error {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
 		return net.ErrClosed
 	}
-	a.pending[seq] = cb
+	a.pending[seq] = pendingInquiry{round: r, gen: gen, slot: slot}
 	a.mu.Unlock()
 
-	var buf [inquirySize]byte
 	if _, err := a.conn.Write(EncodeInquiry(buf[:0], seq)); err != nil {
 		a.cancel(seq)
 		return err
@@ -120,7 +149,7 @@ func (a *pollAgent) cancel(seq uint32) {
 func (a *pollAgent) close() {
 	a.mu.Lock()
 	a.closed = true
-	a.pending = make(map[uint32]func(load int))
+	a.pending = make(map[uint32]pendingInquiry)
 	a.mu.Unlock()
 	_ = a.conn.Close()
 }

@@ -29,6 +29,21 @@ func deafCluster(t *testing.T, n int) *Directory {
 	return d
 }
 
+// testRound builds a one-slot round armed to complete on its single
+// answer, for driving an agent's inquire/demux path directly.
+func testRound() *pollRound {
+	r := &pollRound{
+		done:    make(chan struct{}, 1),
+		sendBuf: make([]byte, 0, inquirySize),
+		epIdx:   make([]int, 1),
+		loads:   []int64{-1},
+		rtts:    make([]time.Duration, 1),
+		want:    1,
+	}
+	r.start = time.Now()
+	return r
+}
+
 func TestPollAgentCancelDropsLateAnswer(t *testing.T) {
 	_, nodes := testCluster(t, 1, false)
 	a, err := newPollAgent(nodes[0].Transport(), nodes[0].LoadAddr(), transport.NoLink, nil)
@@ -36,24 +51,27 @@ func TestPollAgentCancelDropsLateAnswer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.close()
-	ch := make(chan int, 1)
-	if err := a.inquire(1, func(load int) { ch <- load }); err != nil {
+	r1 := testRound()
+	if err := a.inquire(1, r1, r1.gen, 0, r1.sendBuf); err != nil {
 		t.Fatal(err)
 	}
 	a.cancel(1) // cancel immediately: the answer must be dropped
 	select {
-	case v := <-ch:
+	case <-r1.done:
 		// Tiny race window: the answer may already have been delivered
 		// before cancel ran; that is acceptable behaviour, not a bug.
-		_ = v
 	case <-time.After(100 * time.Millisecond):
 	}
 	// A second inquiry still works after the cancel.
-	if err := a.inquire(2, func(load int) { ch <- load }); err != nil {
+	r2 := testRound()
+	if err := a.inquire(2, r2, r2.gen, 0, r2.sendBuf); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case <-ch:
+	case <-r2.done:
+		if r2.loads[0] < 0 {
+			t.Fatal("completion signaled without an answer in the slot")
+		}
 	case <-time.After(time.Second):
 		t.Fatal("second inquiry unanswered")
 	}
@@ -79,16 +97,14 @@ func TestPollAgentCountsLateAnswers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.close()
-	answered := make(chan int, 1)
-	if err := a.inquire(7, func(load int) { answered <- load }); err != nil {
+	rd := testRound()
+	if err := a.inquire(7, rd, rd.gen, 0, rd.sendBuf); err != nil {
 		t.Fatal(err)
 	}
 	a.cancel(7) // discard before the 50 ms slow answer can arrive
 	waitUntil(t, func() bool { return a.lateCount() == 1 }, "the late answer to be counted")
-	select {
-	case v := <-answered:
-		t.Fatalf("cancelled inquiry still delivered load %d", v)
-	default:
+	if load := rd.loads[0]; load >= 0 {
+		t.Fatalf("cancelled inquiry still delivered load %d", load)
 	}
 	if _, err := ReadResponse(r); err != nil {
 		t.Fatal(err)

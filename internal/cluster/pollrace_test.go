@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"finelb/internal/core"
+	"finelb/internal/obs"
+	"finelb/internal/transport"
+)
+
+// TestLoadTableFanoutRace hammers the poll hot path's shared state
+// from every direction at once — accesses mutating the sharded load
+// table, poll rounds answering inquiries synchronously on the
+// accessors' own goroutines, drain/rejoin cycling membership (which
+// also exercises Refresh's agent/pool pruning), and raw load-index
+// reads — and relies on -race to catch any unsynchronized access. The
+// assertions are deliberately weak; the scheduler interleaving is the
+// test.
+func TestLoadTableFanoutRace(t *testing.T) {
+	tr := transport.NewMem(transport.MemConfig{Seed: 3})
+	dir := NewDirectory(time.Hour)
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		n, err := StartNode(NodeConfig{
+			ID: i, Service: "svc", Directory: dir, SlowProb: -1,
+			Transport: tr, Seed: uint64(i + 1), Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { _ = n.Close() })
+	}
+	c, err := NewClient(ClientConfig{
+		Directory: dir, Service: "svc",
+		Policy:          core.NewPoll(2),
+		PollRetries:     -1,
+		QuarantineAfter: -1,
+		RefreshInterval: time.Millisecond,
+		Transport:       tr,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	var accessors, togglers sync.WaitGroup
+	stop := make(chan struct{})
+	// Accessors: each access is a poll round (load-table reads, answer
+	// deliveries) plus a service round trip (load-table writes).
+	for g := 0; g < 4; g++ {
+		accessors.Add(1)
+		go func() {
+			defer accessors.Done()
+			for i := 0; i < 300; i++ {
+				_, _ = c.Access(10, nil) // errors fine: drain may empty the table briefly
+			}
+		}()
+	}
+	// Drain toggler: membership churn against in-flight rounds, which
+	// also drives Refresh's agent/pool pruning.
+	togglers.Add(1)
+	go func() {
+		defer togglers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := nodes[i%len(nodes)]
+			n.Drain()
+			n.Rejoin()
+		}
+	}()
+	// Load-index readers: the sharded sum racing its writers.
+	togglers.Add(1)
+	go func() {
+		defer togglers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if nodes[i%len(nodes)].LoadIndex() < 0 {
+				t.Error("load index went negative")
+				return
+			}
+		}
+	}()
+
+	accessors.Wait()
+	close(stop)
+	togglers.Wait()
+}
+
+// TestMemFanoutDeterministic pins the batched fan-out to the same
+// RNG/seq stream as the historical per-peer path: two runs of the same
+// seeded workload on fresh mem fabrics must pick the same server
+// sequence and freeze byte-identical deterministic metric digests.
+// (stats.TestChooseIdentityMatchesChoose pins the draw-level
+// equivalence; this is the cluster-level, digest-level statement.)
+func TestMemFanoutDeterministic(t *testing.T) {
+	run := func() ([]int, string) {
+		tr := transport.NewMem(transport.MemConfig{Seed: 1})
+		reg := obs.NewRegistry()
+		m := obs.NewRunMetrics(reg)
+		dir := NewDirectory(time.Hour)
+		var nodes []*Node
+		for i := 0; i < 8; i++ {
+			n, err := StartNode(NodeConfig{
+				ID: i, Service: "svc", Directory: dir, SlowProb: -1,
+				Transport: tr, Seed: uint64(i + 1), Metrics: m,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+		c, err := NewClient(ClientConfig{
+			Directory: dir, Service: "svc",
+			Policy:          core.NewPoll(3),
+			PollRetries:     -1,
+			QuarantineAfter: -1,
+			Transport:       tr,
+			Metrics:         m,
+			Seed:            42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks := make([]int, 0, 400)
+		for i := 0; i < 400; i++ {
+			info, err := c.Access(0, nil)
+			if err != nil {
+				t.Fatalf("access %d: %v", i, err)
+			}
+			picks = append(picks, info.Server)
+		}
+		_ = c.Close()
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		return picks, reg.Snapshot().DeterministicDigest()
+	}
+
+	picks1, digest1 := run()
+	picks2, digest2 := run()
+	if digest1 != digest2 {
+		t.Errorf("identical seeded runs froze different metric digests:\n%s\nvs\n%s", digest1, digest2)
+	}
+	for i := range picks1 {
+		if picks1[i] != picks2[i] {
+			t.Fatalf("pick sequence diverged at access %d: %d vs %d", i, picks1[i], picks2[i])
+		}
+	}
+}
+
+// TestRefreshPruneGrace pins the FD-audit pruning contract: a server
+// missing from one refresh keeps its sockets (a starved republish must
+// not tear down live agents), while one absent past pruneGrace loses
+// its poll agent and conn pool and folds its late count into the
+// monotone LateAnswers total.
+func TestRefreshPruneGrace(t *testing.T) {
+	tr := transport.NewMem(transport.MemConfig{Seed: 9})
+	dir := NewDirectory(time.Hour)
+	var nodes []*Node
+	for i := 0; i < 2; i++ {
+		n, err := StartNode(NodeConfig{
+			ID: i, Service: "svc", Directory: dir, SlowProb: -1,
+			Transport: tr, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		t.Cleanup(func() { _ = n.Close() })
+	}
+	c, err := NewClient(ClientConfig{
+		Directory: dir, Service: "svc",
+		Policy:          core.NewPoll(2),
+		PollRetries:     -1,
+		QuarantineAfter: -1,
+		Transport:       tr,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if _, err := c.Access(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	agents := len(c.agents)
+	c.mu.Unlock()
+	if agents != 2 {
+		t.Fatalf("agents after first access: %d, want 2", agents)
+	}
+
+	dir.Withdraw(0, "svc")
+	c.Refresh() // first miss: marked absent, sockets survive
+	c.mu.Lock()
+	agents, marks := len(c.agents), len(c.absentSince)
+	c.mu.Unlock()
+	if agents != 2 {
+		t.Fatalf("agents pruned on first missed refresh: %d, want 2", agents)
+	}
+	if marks == 0 {
+		t.Fatal("missing endpoint not marked absent")
+	}
+
+	// A republish inside the grace clears the mark.
+	dir.Publish(Endpoint{NodeID: 0, Service: "svc",
+		AccessAddr: nodes[0].AccessAddr(), LoadAddr: nodes[0].LoadAddr()})
+	c.Refresh()
+	c.mu.Lock()
+	marks = len(c.absentSince)
+	c.mu.Unlock()
+	if marks != 0 {
+		t.Fatalf("absence marks survived a republish: %d, want 0", marks)
+	}
+
+	// Gone for good: backdate the mark past the grace and refresh.
+	dir.Withdraw(0, "svc")
+	c.Refresh()
+	c.mu.Lock()
+	for addr, first := range c.absentSince {
+		c.absentSince[addr] = first.Add(-pruneGrace - time.Second)
+	}
+	c.mu.Unlock()
+	c.Refresh()
+	c.mu.Lock()
+	agents = len(c.agents)
+	_, agent0 := c.agents[nodes[0].LoadAddr()]
+	_, pool0 := c.pools[nodes[0].AccessAddr()]
+	c.mu.Unlock()
+	if agents != 1 || agent0 || pool0 {
+		t.Fatalf("after grace expiry: %d agents (node0 agent held: %v, node0 pool held: %v), want only node 1's",
+			agents, agent0, pool0)
+	}
+}

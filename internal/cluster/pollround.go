@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finelb/internal/core"
+)
+
+// pollRound is the reusable scratch for one poll round (§3.1-3.2): the
+// slot tables the fan-out writes from, the answer slots the agents'
+// read loops demultiplex into, and the wait machinery that wakes the
+// round owner exactly once — when the last outstanding answer lands or
+// the discard deadline fires — instead of once per reply.
+//
+// Ownership rules (DESIGN.md §12): a round is checked out of the
+// client's pool by one access goroutine, which owns every field except
+// the answer slots (epIdx written before each inquiry is registered,
+// then read-only). The answer slots — loads, rtts, got — are written
+// by agent read loops through deliver under r.mu until the owner sets
+// closed; after that the owner reads them without the lock, because
+// closed is checked under the same mutex on every delivery. The
+// generation counter makes recycling safe: a read loop that looked up
+// a pending inquiry just before the owner cancelled it may call
+// deliver after the round was reset for its next use, and the stale
+// gen rejects it before any slot is touched.
+type pollRound struct {
+	mu     sync.Mutex
+	gen    uint32       // bumped on every reset; stale deliveries carry the old value
+	closed bool         // set at teardown; no slot writes after this
+	want   int32        // answers that complete the round; -1 while the fan-out is still sending
+	got    atomic.Int32 // answers recorded so far (atomic so the owner's yield-spin reads it lock-free)
+
+	// Answer slots, indexed by the order inquiries were sent.
+	epIdx []int           // slot -> index into the round's endpoint table
+	loads []int64         // slot -> answered load; -1 = unanswered
+	rtts  []time.Duration // slot -> inquiry round trip, valid when loads >= 0
+
+	// Owner-only scratch, reused across rounds via the pool.
+	start     time.Time
+	done      chan struct{} // buffered 1: the round's single completion wakeup
+	timer     *time.Timer   // the round's single deadline, Reset per use
+	sendBuf   []byte        // encode buffer for every inquiry in the round
+	seqs      []uint32
+	agents    []*pollAgent
+	polled    []int
+	swaps     []int
+	responses []core.PollResponse
+}
+
+// deliver records an answer for slot. It is called by agent read loops
+// and must not block; the round owner is woken at most once, when the
+// answer completing the round arrives after the fan-out finished
+// (want >= 0). Deliveries after teardown, for a recycled round (gen
+// mismatch), or duplicated onto an answered slot are dropped — the
+// gen check runs before the slot index, so a stale slot from a wider
+// previous round can never index out of bounds.
+func (r *pollRound) deliver(gen uint32, slot int32, load uint32) {
+	now := time.Now()
+	r.mu.Lock()
+	if r.closed || r.gen != gen || r.loads[slot] >= 0 {
+		r.mu.Unlock()
+		return
+	}
+	r.loads[slot] = int64(load)
+	r.rtts[slot] = now.Sub(r.start)
+	got := r.got.Add(1)
+	if r.want >= 0 && got >= r.want {
+		select {
+		case r.done <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+}
+
+// arm publishes how many answers complete the round, after the fan-out
+// finished assigning slots. It reports whether every answer already
+// arrived during the send phase, in which case the owner skips the
+// deadline wait entirely.
+func (r *pollRound) arm(sent int) (complete bool) {
+	r.mu.Lock()
+	r.want = int32(sent)
+	complete = r.got.Load() >= r.want
+	r.mu.Unlock()
+	return complete
+}
+
+// abandon tears the round down: cancel the outstanding inquiries (so
+// answers still in flight are counted late by the agents, §3.2), then
+// close the slots. After abandon returns, the owner may read the
+// answer slots without the lock, and any straggling deliver is
+// rejected. The stale completion token, if the deadline and the last
+// answer raced, is drained so the pooled round starts its next use
+// with an empty channel.
+func (r *pollRound) abandon(sent int) {
+	for i := 0; i < sent; i++ {
+		r.agents[i].cancel(r.seqs[i])
+	}
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	select {
+	case <-r.done:
+	default:
+	}
+}
+
+// getRound checks a round out of the client's pool, sized for a poll
+// set of d, with every answer slot reset to unanswered and a fresh
+// generation so stale deliveries from its previous use bounce off.
+func (c *Client) getRound(d int) *pollRound {
+	r, _ := c.rounds.Get().(*pollRound)
+	if r == nil {
+		r = &pollRound{
+			done:    make(chan struct{}, 1),
+			sendBuf: make([]byte, 0, inquirySize),
+		}
+	} else {
+		c.pollPath.EncodeReuse.Inc()
+	}
+	if cap(r.epIdx) < d {
+		r.epIdx = make([]int, d)
+		r.loads = make([]int64, d)
+		r.rtts = make([]time.Duration, d)
+		r.seqs = make([]uint32, d)
+		r.agents = make([]*pollAgent, d)
+		r.polled = make([]int, d)
+		r.swaps = make([]int, d)
+		r.responses = make([]core.PollResponse, 0, d)
+	}
+	r.epIdx = r.epIdx[:d]
+	r.loads = r.loads[:d]
+	r.rtts = r.rtts[:d]
+	r.seqs = r.seqs[:d]
+	r.agents = r.agents[:d]
+	r.polled = r.polled[:d]
+	r.swaps = r.swaps[:d]
+	for i := range r.loads {
+		r.loads[i] = -1
+	}
+	r.mu.Lock()
+	r.gen++
+	r.closed = false
+	r.want = -1
+	r.got.Store(0)
+	r.mu.Unlock()
+	return r
+}
+
+// putRound returns an abandoned round to the pool. Agent pointers are
+// cleared so a pooled round does not pin agents pruned by Refresh.
+func (c *Client) putRound(r *pollRound) {
+	for i := range r.agents {
+		r.agents[i] = nil
+	}
+	c.rounds.Put(r)
+}

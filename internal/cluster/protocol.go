@@ -25,6 +25,7 @@ package cluster
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -249,10 +250,18 @@ func EncodeInquiry(buf []byte, seq uint32) []byte {
 	return buf
 }
 
+// Datagram decode errors are fixed sentinels: the poll path discards
+// malformed datagrams at line rate, so even the error path must not
+// allocate.
+var (
+	errBadInquiry = errors.New("cluster: bad inquiry datagram")
+	errBadLoad    = errors.New("cluster: bad load datagram")
+)
+
 // DecodeInquiry parses a load-inquiry datagram.
 func DecodeInquiry(p []byte) (seq uint32, err error) {
 	if len(p) != inquirySize || p[0] != magicInquiry {
-		return 0, fmt.Errorf("cluster: bad inquiry datagram (%d bytes)", len(p))
+		return 0, errBadInquiry
 	}
 	return binary.LittleEndian.Uint32(p[1:5]), nil
 }
@@ -269,7 +278,7 @@ func EncodeLoad(buf []byte, seq, load uint32) []byte {
 // DecodeLoad parses a load-answer datagram.
 func DecodeLoad(p []byte) (seq, load uint32, err error) {
 	if len(p) != loadSize || p[0] != magicLoad {
-		return 0, 0, fmt.Errorf("cluster: bad load datagram (%d bytes)", len(p))
+		return 0, 0, errBadLoad
 	}
 	return binary.LittleEndian.Uint32(p[1:5]), binary.LittleEndian.Uint32(p[5:9]), nil
 }

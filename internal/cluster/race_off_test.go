@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled lets allocation gates skip under the race detector,
+// whose instrumentation perturbs allocation accounting.
+const raceEnabled = false

@@ -52,7 +52,7 @@ func rowIndex(t *testing.T, tbl *Table, match map[int]string) int {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {

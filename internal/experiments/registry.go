@@ -35,6 +35,7 @@ var registry = map[string]registryEntry{
 	"hetchurn":     {HetChurn, "Heterogeneous cluster + churn: non-monotone poll-size row (simulation)"},
 	"gateway":      {Gateway, "Gateway: HTTP front door end to end (admission, rate limiting, sticky routing)"},
 	"simscale":     {SimScale, "SC1: simulator hot-path throughput at O(10k) servers (events/sec)"},
+	"pollpath":     {PollPath, "PP1: prototype poll hot-path throughput on the mem fabric (polls/sec)"},
 }
 
 // Get looks up an experiment by id.

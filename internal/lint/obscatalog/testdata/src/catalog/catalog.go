@@ -38,6 +38,19 @@ func Membership(reg *obs.Registry) {
 	reg.Gauge("membership_pool_size")      // want `metric name "membership_pool_size" is not an obs catalog constant`
 }
 
+// PollPath exercises the poll hot-path catalog entries: the private
+// per-client instrumentation (rounds, batch sizes, scratch reuse)
+// registers through the same catalog constants; spelling them as
+// literals is the same drift bug as any other metric.
+func PollPath(reg *obs.Registry) {
+	reg.Counter(obs.MetricPollRounds)           // catalog constant: clean
+	reg.Histogram(obs.MetricPollBatchSize, nil) // catalog constant: clean
+	reg.Counter(obs.MetricPollEncodeReuse)      // catalog constant: clean
+	reg.Counter("poll_rounds_total")            // want `metric name "poll_rounds_total" is not an obs catalog constant`
+	reg.Histogram("poll_batch_size", nil)       // want `metric name "poll_batch_size" is not an obs catalog constant`
+	reg.Counter("poll_encode_reuse_total")      // want `metric name "poll_encode_reuse_total" is not an obs catalog constant`
+}
+
 // Dynamic names are registry plumbing, not spelling sites: the
 // analyzer leaves them to the golden name-set test.
 func Dynamic(reg *obs.Registry, name string) *obs.Counter {

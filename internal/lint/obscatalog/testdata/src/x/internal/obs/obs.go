@@ -36,6 +36,11 @@ const (
 	MetricMembershipJoins = "membership_joins_total"
 	MetricMembershipPool  = "membership_pool_size"
 	MetricAutoscaleUps    = "autoscaler_scale_ups_total"
+	// Poll hot-path catalog entries, mirroring the real
+	// obs.PollPathMetrics constants.
+	MetricPollRounds      = "poll_rounds_total"
+	MetricPollBatchSize   = "poll_batch_size"
+	MetricPollEncodeReuse = "poll_encode_reuse_total"
 )
 
 // TenantMetric mirrors the real catalog's per-tenant name derivation.

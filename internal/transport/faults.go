@@ -80,6 +80,15 @@ type faultPacketConn struct {
 	server int
 }
 
+// SetPacketHandler forwards the optional HandlerPacketConn capability
+// to the wrapped connection. Embedding the PacketConn interface does
+// not promote optional methods, so without this the fault decorator
+// would silently strip synchronous delivery from the mem fabric.
+func (c *faultPacketConn) SetPacketHandler(h PacketHandler) bool {
+	hc, ok := c.PacketConn.(HandlerPacketConn)
+	return ok && hc.SetPacketHandler(h)
+}
+
 func (c *faultPacketConn) Write(p []byte) (int, error) {
 	drop, delay := c.state.PollFault(c.server)
 	if drop {

@@ -59,6 +59,26 @@ type PacketConn interface {
 	Close() error
 }
 
+// PacketHandler processes one received datagram. The payload is only
+// valid for the duration of the call — implementations must copy
+// anything they keep — and the handler must not block: on transports
+// that deliver synchronously it runs on the sender's goroutine.
+type PacketHandler func(p []byte, from string)
+
+// HandlerPacketConn is an optional PacketConn capability: a receiver
+// can install a handler invoked per datagram instead of parking a
+// goroutine in Read. On the in-memory fabric an undelayed datagram
+// then flows sender → handler synchronously — no queue, no copy, no
+// goroutine wakeup — which is what lets a whole poll round run on the
+// inquiring client's goroutine (DESIGN.md §12). Transports without
+// the capability (real sockets) simply don't implement it, and
+// callers fall back to a read loop. SetPacketHandler reports whether
+// the handler was installed; install it before any traffic arrives,
+// because datagrams already queued for Read stay queued.
+type HandlerPacketConn interface {
+	SetPacketHandler(h PacketHandler) bool
+}
+
 // Listener accepts stream connections (TCP-like: reliable, ordered
 // byte streams satisfying net.Conn).
 type Listener interface {
