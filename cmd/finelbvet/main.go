@@ -1,7 +1,8 @@
 // finelbvet is the repository's vet: it runs the stock `go vet` passes
-// plus the finelb-specific analyzer suite (detclock, obscatalog,
-// closecheck) over the given package patterns and exits nonzero on any
-// finding. CI runs it as a blocking gate; locally:
+// plus the finelb-specific analyzer suite (bufown, closecheck,
+// detclock, lockcheck, noalloc, obscatalog) over the given package
+// patterns and exits nonzero on any finding. CI runs it as a blocking
+// gate; locally:
 //
 //	go run ./cmd/finelbvet ./...
 //

@@ -13,7 +13,14 @@ import (
 // analyzer is present, uniquely named, documented, and runnable.
 func TestAnalyzersRegistered(t *testing.T) {
 	analyzers := lint.Analyzers()
-	want := map[string]bool{"detclock": false, "obscatalog": false, "closecheck": false}
+	want := map[string]bool{
+		"detclock":   false,
+		"obscatalog": false,
+		"closecheck": false,
+		"noalloc":    false,
+		"bufown":     false,
+		"lockcheck":  false,
+	}
 	names := make(map[string]bool)
 	for _, a := range analyzers {
 		if a.Name == "" {

@@ -20,6 +20,7 @@ type Caller struct {
 	tr      transport.Transport
 	timeout time.Duration
 
+	//lint:guards pools, closed
 	mu     sync.Mutex
 	pools  map[string]*connPool
 	closed bool

@@ -124,6 +124,7 @@ type Client struct {
 	cfg ClientConfig
 	tr  transport.Transport
 
+	//lint:guards rng, rr, endpoints, ident, agents, pools, outstanding, health, latePruned, absentSince
 	mu          sync.Mutex
 	rng         *stats.RNG
 	rr          core.RoundRobinState
@@ -773,6 +774,8 @@ func (c *Client) pollAndPick(eps, live []Endpoint, info *AccessInfo) (Endpoint, 
 // streams are exactly those of the historical per-reply-channel
 // implementation: ChooseIdentity draws the same poll set Choose did,
 // and seq numbers are taken per inquiry in poll-set order.
+//
+//lint:noalloc steady state; the pool-miss mint lives in getRound
 func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok bool, err error) {
 	d := c.cfg.Policy.PollSize
 	if d > len(eps) {
@@ -803,6 +806,7 @@ func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok boo
 		// The slot is published before the inquiry is registered, so the
 		// read loop's deliver always finds it initialized.
 		r.epIdx[sent] = epIdx
+		//lint:allow lockcheck gen is written only by the round owner (in getRound); between checkout and putRound this goroutine's unlocked read races with nobody (DESIGN.md §12)
 		if err := a.inquire(seq, r, r.gen, int32(sent), r.sendBuf); err != nil {
 			// A refused send is the OS reporting the port dead
 			// (ICMP-backed ECONNREFUSED on a connected UDP socket).
@@ -836,6 +840,7 @@ func (c *Client) pollOnce(eps []Endpoint, info *AccessInfo) (ep Endpoint, ok boo
 		case <-c.done:
 			r.abandon(sent)
 			c.putRound(r)
+			//lint:allow noalloc the closed-client error is a shutdown path, not steady state
 			return Endpoint{}, false, fmt.Errorf("cluster: client closed during poll")
 		}
 		if !r.timer.Stop() {

@@ -15,6 +15,8 @@ type loadShard struct {
 }
 
 // add moves the load index by d through this writer's shard.
+//
+//lint:noalloc
 func (s *loadShard) add(d int64) { s.n.Add(d) }
 
 // loadTable is the node's load-index table (§3.1): the count of
@@ -40,11 +42,15 @@ type loadTable struct {
 // assign hands a writer its shard, round-robin. Called once per
 // writer goroutine (accept handler, worker) — not per request — so
 // the assignment counter is never hot.
+//
+//lint:noalloc
 func (t *loadTable) assign() *loadShard {
 	return &t.shards[t.next.Add(1)%loadShards]
 }
 
 // load reads the current load index.
+//
+//lint:noalloc
 func (t *loadTable) load() int64 {
 	var sum int64
 	for i := range t.shards {

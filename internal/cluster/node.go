@@ -126,7 +126,8 @@ type Node struct {
 	// Pause support (fault injection): while paused the node accepts and
 	// queues requests but serves nothing, answers no load inquiries, and
 	// stops heartbeating — a stalled process, not a dead one.
-	paused  atomic.Bool
+	paused atomic.Bool
+	//lint:guards unpause
 	pauseMu sync.Mutex
 	unpause chan struct{} // closed when not paused
 
@@ -137,6 +138,7 @@ type Node struct {
 	// graceful half of a scale-down, as opposed to Pause's stall.
 	draining atomic.Bool
 
+	//lint:guards conns
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -146,6 +148,7 @@ type Node struct {
 	// concurrent pollers to one node don't convoy behind each other's
 	// delivery chains. The read-loop fallback is a single goroutine, so
 	// there it is uncontended.
+	//lint:guards inqRNG
 	inqMu  sync.Mutex
 	inqRNG *stats.RNG
 
@@ -164,9 +167,10 @@ type nodeTask struct {
 // nodeConn wraps one accepted connection with a write lock so worker
 // goroutines can interleave responses safely.
 type nodeConn struct {
-	c  net.Conn
-	w  *bufio.Writer
+	c net.Conn
+	//lint:guards w
 	mu sync.Mutex
+	w  *bufio.Writer
 }
 
 func (nc *nodeConn) writeResponse(resp *Response) error {
@@ -596,6 +600,8 @@ func spinFor(d time.Duration) {
 // the whole client-side demux chain runs inside WriteTo, and holding
 // the node's mutex across it would serialize every concurrent poller
 // of this node behind one delivery.
+//
+//lint:noalloc
 func (n *Node) handleInquiry(p []byte, from string) {
 	seq, err := DecodeInquiry(p)
 	if err != nil {
@@ -628,6 +634,7 @@ func (n *Node) handleInquiry(p []byte, from string) {
 		n.cfg.Metrics.SlowAnswers.Inc()
 		delay := time.Duration(n.cfg.SlowDist.Sample(n.inqRNG) * float64(time.Second))
 		n.inqMu.Unlock()
+		//lint:allow noalloc the slow path is rare by construction (SlowProb); its timer closure is the contention model, not the hot path
 		time.AfterFunc(delay, func() {
 			select {
 			case <-n.done:

@@ -30,6 +30,7 @@ type pendingInquiry struct {
 type pollAgent struct {
 	conn transport.PacketConn
 
+	//lint:guards pending, closed, late
 	mu      sync.Mutex
 	pending map[uint32]pendingInquiry
 	closed  bool
@@ -59,6 +60,8 @@ func newPollAgent(tr transport.Transport, loadAddr string, link transport.Link, 
 // for it. It runs either synchronously on whichever goroutine the
 // answering node replied from (HandlerPacketConn transports) or on
 // readLoop's goroutine, and never blocks beyond the two short mutexes.
+//
+//lint:noalloc
 func (a *pollAgent) handleAnswer(p []byte, _ string) {
 	seq, load, err := DecodeLoad(p)
 	if err != nil {
@@ -117,6 +120,8 @@ func (a *pollAgent) lateCount() int64 {
 // datagram, encoded into buf — the round's pooled send buffer, which
 // is free for reuse as soon as Write returns (every transport copies
 // or finishes with the payload synchronously).
+//
+//lint:noalloc
 func (a *pollAgent) inquire(seq uint32, r *pollRound, gen uint32, slot int32, buf []byte) error {
 	a.mu.Lock()
 	if a.closed {
@@ -140,6 +145,8 @@ func (a *pollAgent) isClosed() bool {
 }
 
 // cancel forgets an outstanding inquiry; a late answer is discarded.
+//
+//lint:noalloc
 func (a *pollAgent) cancel(seq uint32) {
 	a.mu.Lock()
 	delete(a.pending, seq)

@@ -26,6 +26,7 @@ import (
 // deliver after the round was reset for its next use, and the stale
 // gen rejects it before any slot is touched.
 type pollRound struct {
+	//lint:guards gen, closed, want
 	mu     sync.Mutex
 	gen    uint32       // bumped on every reset; stale deliveries carry the old value
 	closed bool         // set at teardown; no slot writes after this
@@ -56,6 +57,8 @@ type pollRound struct {
 // mismatch), or duplicated onto an answered slot are dropped — the
 // gen check runs before the slot index, so a stale slot from a wider
 // previous round can never index out of bounds.
+//
+//lint:noalloc
 func (r *pollRound) deliver(gen uint32, slot int32, load uint32) {
 	now := time.Now()
 	r.mu.Lock()
@@ -79,6 +82,8 @@ func (r *pollRound) deliver(gen uint32, slot int32, load uint32) {
 // finished assigning slots. It reports whether every answer already
 // arrived during the send phase, in which case the owner skips the
 // deadline wait entirely.
+//
+//lint:noalloc
 func (r *pollRound) arm(sent int) (complete bool) {
 	r.mu.Lock()
 	r.want = int32(sent)
@@ -94,6 +99,8 @@ func (r *pollRound) arm(sent int) (complete bool) {
 // rejected. The stale completion token, if the deadline and the last
 // answer raced, is drained so the pooled round starts its next use
 // with an empty channel.
+//
+//lint:noalloc
 func (r *pollRound) abandon(sent int) {
 	for i := 0; i < sent; i++ {
 		r.agents[i].cancel(r.seqs[i])
@@ -151,6 +158,8 @@ func (c *Client) getRound(d int) *pollRound {
 
 // putRound returns an abandoned round to the pool. Agent pointers are
 // cleared so a pooled round does not pin agents pruned by Refresh.
+//
+//lint:noalloc
 func (c *Client) putRound(r *pollRound) {
 	for i := range r.agents {
 		r.agents[i] = nil

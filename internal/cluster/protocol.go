@@ -243,6 +243,8 @@ const (
 )
 
 // EncodeInquiry builds a load-inquiry datagram.
+//
+//lint:noalloc
 func EncodeInquiry(buf []byte, seq uint32) []byte {
 	buf = buf[:0]
 	buf = append(buf, magicInquiry)
@@ -259,6 +261,8 @@ var (
 )
 
 // DecodeInquiry parses a load-inquiry datagram.
+//
+//lint:noalloc
 func DecodeInquiry(p []byte) (seq uint32, err error) {
 	if len(p) != inquirySize || p[0] != magicInquiry {
 		return 0, errBadInquiry
@@ -267,6 +271,8 @@ func DecodeInquiry(p []byte) (seq uint32, err error) {
 }
 
 // EncodeLoad builds a load-answer datagram.
+//
+//lint:noalloc
 func EncodeLoad(buf []byte, seq, load uint32) []byte {
 	buf = buf[:0]
 	buf = append(buf, magicLoad)
@@ -276,6 +282,8 @@ func EncodeLoad(buf []byte, seq, load uint32) []byte {
 }
 
 // DecodeLoad parses a load-answer datagram.
+//
+//lint:noalloc
 func DecodeLoad(p []byte) (seq, load uint32, err error) {
 	if len(p) != loadSize || p[0] != magicLoad {
 		return 0, 0, errBadLoad

@@ -1,4 +1,5 @@
 //lint:deterministic file
+//lint:noalloc file
 // loadindex.go implements the indexed min-load structure behind the
 // IDEAL (join-shortest-queue) and least-connections dispatch paths.
 // The paper-era implementation scanned all n servers per decision;
@@ -42,6 +43,7 @@ func NewLoadIndexCap(n, capacity int) *LoadIndex {
 	if capacity < n {
 		capacity = n
 	}
+	//lint:allow noalloc construction is the one mint; every later operation works in place
 	x := &LoadIndex{
 		load: make([]int32, n, capacity),
 		heap: make([]int32, n, capacity),

@@ -1,0 +1,509 @@
+// Package bufown implements the finelbvet analyzer that enforces the
+// DESIGN.md §12 buffer-ownership rules on the transport seam.
+//
+// The zero-alloc poll path works because datagram buffers are loaned,
+// never given: a payload handed to a transport.PacketHandler is valid
+// only for the duration of the call (the fabric recycles it into a
+// pool the moment the handler returns), and a buffer a read loop hands
+// to PacketConn.ReadFrom/Read is overwritten by the next datagram.
+// Code that keeps such a slice past the call is reading someone else's
+// recycled memory; the bug reproduces as silent payload corruption
+// under load, which is why the rule is enforced statically instead of
+// being discovered in production.
+//
+// bufown treats a []byte as borrowed when it is:
+//
+//   - a parameter of a function or function literal whose signature is
+//     transport.PacketHandler's (func([]byte, string)); or
+//   - a buffer passed to ReadFrom/Read on a transport.PacketConn
+//     inside a loop (the read-loop reuse pattern).
+//
+// Borrowedness propagates through local aliases: plain assignments,
+// reslices, same-slice-type conversions, byte-slice fields of decode
+// results, and the alias-bearing results of calls fed a borrowed
+// argument (decode helpers return views of their input). A borrowed
+// value may be read, copied (`copy`, or the explicit
+// `append([]byte(nil), b...)` idiom — a byte spread fills the
+// destination with fresh bytes, so the result's ownership is the
+// destination's), and passed to synchronous calls, including deferred
+// ones (defers run before the call returns). It must not out-live the
+// call:
+//
+//   - stores into struct fields, package-level variables, pointees, or
+//     elements of any of those are flagged;
+//   - appending the slice itself as an element of a longer-lived
+//     container is flagged;
+//   - sends on channels are flagged;
+//   - `go` statements whose arguments carry it are flagged;
+//   - non-deferred closures that capture it are flagged (the closure
+//     may run after the call returns).
+//
+// Intentional exceptions — a handler that is the sole owner of a
+// private buffer protocol — are annotated in place with
+// `//lint:allow bufown <reason>`.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finelb/internal/lint/analysis"
+)
+
+// Analyzer is the bufown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "forbid transport-seam datagram payloads (PacketHandler args, read-loop buffers) from escaping the call without an explicit copy",
+	Run:  run,
+}
+
+// transportPathSuffix identifies the seam package (suffix-matched so
+// fixture stubs bind too, mirroring closecheck).
+const transportPathSuffix = "internal/transport"
+
+// unit is one independently-checked function body: a FuncDecl or a
+// handler-shaped FuncLit. pos/end bound locality for its declarations.
+type unit struct {
+	params *ast.FieldList // seed borrowed params when handler-shaped, else nil
+	body   *ast.BlockStmt
+	pos    token.Pos
+	end    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	handlerSig, packetConn := seamTypes(pass)
+	if handlerSig == nil && packetConn == nil {
+		return nil // package does not touch the transport seam
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			u := unit{body: fd.Body, pos: fd.Pos(), end: fd.End()}
+			if handlerSig != nil && declMatches(pass, fd, handlerSig) {
+				u.params = fd.Type.Params
+			}
+			check(pass, u, packetConn)
+			// Handler-shaped literals (SetPacketHandler callbacks) are
+			// their own units: their parameters are loans too.
+			if handlerSig == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || lit.Body == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[lit]
+				if !ok {
+					return true
+				}
+				sig, ok := tv.Type.(*types.Signature)
+				if !ok || !types.Identical(sig, handlerSig) {
+					return true
+				}
+				check(pass, unit{params: lit.Type.Params, body: lit.Body, pos: lit.Pos(), end: lit.End()}, packetConn)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declMatches reports whether fd's signature is identical to the
+// handler's (receivers are ignored by types.Identical, so methods
+// qualify — pollAgent.handleAnswer is the canonical case).
+func declMatches(pass *analysis.Pass, fd *ast.FuncDecl, handlerSig *types.Signature) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && types.Identical(sig, handlerSig)
+}
+
+// seamTypes resolves the PacketHandler signature and the PacketConn
+// interface from the imported transport package (directly or
+// transitively), or from the package itself when it is the seam.
+func seamTypes(pass *analysis.Pass) (*types.Signature, *types.Interface) {
+	var seam *types.Package
+	if strings.HasSuffix(pass.Pkg.Path(), transportPathSuffix) {
+		seam = pass.Pkg
+	}
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || seen[p] || seam != nil {
+			return
+		}
+		seen[p] = true
+		if strings.HasSuffix(p.Path(), transportPathSuffix) {
+			seam = p
+			return
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		walk(imp)
+	}
+	if seam == nil {
+		return nil, nil
+	}
+	var sig *types.Signature
+	if obj, ok := seam.Scope().Lookup("PacketHandler").(*types.TypeName); ok {
+		sig, _ = obj.Type().Underlying().(*types.Signature)
+	}
+	var iface *types.Interface
+	if obj, ok := seam.Scope().Lookup("PacketConn").(*types.TypeName); ok {
+		iface, _ = obj.Type().Underlying().(*types.Interface)
+	}
+	return sig, iface
+}
+
+// check analyzes one unit: seed the borrowed set, propagate through
+// local aliases to a fixpoint, then flag escapes.
+func check(pass *analysis.Pass, u unit, packetConn *types.Interface) {
+	borrowed := make(map[types.Object]bool)
+
+	// Seed 1: handler-shaped units loan their []byte parameters.
+	if u.params != nil {
+		for _, field := range u.params.List {
+			for _, id := range field.Names {
+				p := pass.TypesInfo.ObjectOf(id)
+				if p != nil && isByteSlice(p.Type()) {
+					borrowed[p] = true
+				}
+			}
+		}
+	}
+
+	// Seed 2: buffers fed to ReadFrom/Read on a seam conn inside a
+	// loop are overwritten by the next iteration's datagram.
+	if packetConn != nil {
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			body := loopBody(n)
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "ReadFrom" && sel.Sel.Name != "Read") {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[sel.X]
+				if !ok || tv.Type == nil || !types.Implements(tv.Type, packetConn) {
+					return true
+				}
+				if obj := baseObject(pass, call.Args[0]); obj != nil && isByteSlice(obj.Type()) {
+					borrowed[obj] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+
+	if len(borrowed) == 0 {
+		return
+	}
+
+	// Propagate through local aliases until the set stops growing.
+	for {
+		grew := false
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				// Multi-value: a call fed a borrowed argument loans
+				// every alias-bearing result (decode helpers).
+				call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+				if !ok || !callHasBorrowedArg(pass, call, borrowed) {
+					return true
+				}
+				for _, l := range as.Lhs {
+					obj := lhsObject(pass, l)
+					if obj != nil && inRange(obj, u) && aliasBearing(obj.Type()) && !borrowed[obj] {
+						borrowed[obj] = true
+						grew = true
+					}
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !borrowedExpr(pass, rhs, borrowed) {
+					continue
+				}
+				obj := lhsObject(pass, as.Lhs[i])
+				if obj != nil && inRange(obj, u) && !borrowed[obj] {
+					borrowed[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+
+	flagEscapes(pass, u, borrowed)
+}
+
+// flagEscapes reports every way a borrowed slice out-lives the call.
+func flagEscapes(pass *analysis.Pass, u unit, borrowed map[types.Object]bool) {
+	// Deferred literals run before the unit returns, while the loan is
+	// still valid — their captures are synchronous uses, not escapes.
+	deferred := make(map[*ast.FuncLit]bool)
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !borrowedExpr(pass, rhs, borrowed) {
+					continue
+				}
+				if escapeSite(pass, n.Lhs[i], u) {
+					pass.Reportf(n.Pos(),
+						"%s stores a borrowed datagram payload past the call (DESIGN.md §12: valid only for the duration of the call); copy it first (append([]byte(nil), b...))",
+						render(n.Lhs[i]))
+				}
+			}
+		case *ast.SendStmt:
+			if borrowedExpr(pass, n.Value, borrowed) {
+				pass.Reportf(n.Pos(),
+					"sending a borrowed datagram payload on a channel lets it out-live the call; copy it first (append([]byte(nil), b...))")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if borrowedExpr(pass, arg, borrowed) {
+					pass.Reportf(n.Pos(),
+						"goroutine argument carries a borrowed datagram payload; copy it first (append([]byte(nil), b...))")
+					break
+				}
+			}
+		case *ast.FuncLit:
+			if deferred[n] {
+				return true // still walk the body for stores/sends inside it
+			}
+			for obj := range borrowed {
+				// Only flag captures of objects declared outside this
+				// literal — its own locals shadowing names don't count.
+				if obj.Pos() >= n.Pos() && obj.Pos() <= n.End() {
+					continue
+				}
+				if capturesObject(pass, n, obj) {
+					pass.Reportf(n.Pos(),
+						"closure captures borrowed datagram payload %s and may run after the call returns; copy it first (append([]byte(nil), b...))",
+						obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapeSite reports whether storing into lhs lets a value out-live
+// the enclosing call: struct fields, package-level variables,
+// pointees, and elements of any of those.
+func escapeSite(pass *analysis.Pass, lhs ast.Expr, u unit) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true // field (or dotted package var) store
+	case *ast.IndexExpr:
+		return escapeSite(pass, l.X, u)
+	case *ast.StarExpr:
+		return true // through a pointer: the pointee's lifetime is unknown
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(l)
+		return obj != nil && obj.Name() != "_" && !inRange(obj, u)
+	}
+	return false
+}
+
+// borrowedExpr reports whether e evaluates to a view of a borrowed
+// buffer: the object itself, a reslice, a same-slice conversion, a
+// byte-slice field of a borrowed decode result, an append that keeps
+// the slice as an element, or an alias-bearing call over a borrowed
+// argument.
+func borrowedExpr(pass *analysis.Pass, e ast.Expr, borrowed map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		return obj != nil && borrowed[obj]
+	case *ast.SliceExpr:
+		return borrowedExpr(pass, e.X, borrowed)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return borrowedExpr(pass, e.X, borrowed)
+		}
+		return false
+	case *ast.SelectorExpr:
+		// s.Payload where s is a borrowed decode result.
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || !aliasBearing(tv.Type) {
+			return false
+		}
+		return borrowedExpr(pass, e.X, borrowed)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				if b.Name() != "append" {
+					return false // len/cap/copy/... never return aliases
+				}
+				if e.Ellipsis.IsValid() {
+					// append(dst, b...) spreads bytes into dst: the
+					// result's ownership is dst's. append([]byte(nil),
+					// b...) is therefore the sanctioned copy.
+					return borrowedExpr(pass, e.Args[0], borrowed)
+				}
+				// append(container, p) keeps p itself as an element.
+				return callHasBorrowedArg(pass, e, borrowed)
+			}
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil || !aliasBearing(tv.Type) {
+			return false
+		}
+		// Conversions ([]byte(p) keeps the backing array) and
+		// alias-bearing helper results over a borrowed argument.
+		return callHasBorrowedArg(pass, e, borrowed)
+	}
+	return false
+}
+
+func callHasBorrowedArg(pass *analysis.Pass, call *ast.CallExpr, borrowed map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if borrowedExpr(pass, arg, borrowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasBearing reports whether t can carry a view of a byte buffer: a
+// byte slice itself, a slice of byte slices, or a struct (or pointer
+// to one) with a byte-slice field.
+func aliasBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isByteSlice(t) {
+		return true
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		return isByteSlice(s.Elem())
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isByteSlice(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// lhsObject resolves an assignment target to its object when it is a
+// plain identifier.
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// baseObject resolves the identifier at the base of an expression
+// (through slicing and parens).
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SliceExpr:
+		return baseObject(pass, e.X)
+	}
+	return nil
+}
+
+// inRange reports whether obj is declared inside the unit (parameters
+// included).
+func inRange(obj types.Object, u unit) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= u.pos && obj.Pos() <= u.end
+}
+
+// capturesObject reports whether the literal references obj from its
+// enclosing scope.
+func capturesObject(pass *analysis.Pass, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// loopBody returns the body of a for/range statement (nil otherwise).
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// render prints simple lvalues for messages.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	}
+	return "the target"
+}

@@ -1,0 +1,27 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"finelb/internal/lint/analysistest"
+	"finelb/internal/lint/bufown"
+)
+
+// TestHandlerLoans covers PacketHandler-shaped functions and literals:
+// every escape shape is flagged, every sanctioned use passes, and
+// non-handler signatures are never seeded.
+func TestHandlerLoans(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "handler")
+}
+
+// TestReadLoopReuse covers the pull-mode pattern: buffers recycled by
+// ReadFrom/Read inside a loop are loans; one-shot reads are not.
+func TestReadLoopReuse(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "readloop")
+}
+
+// TestSuppression proves the //lint:allow contract for bufown in both
+// the line-above and same-line forms.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "suppress")
+}

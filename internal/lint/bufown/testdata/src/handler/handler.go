@@ -1,0 +1,82 @@
+// Package handler is the bufown fixture for PacketHandler-shaped
+// functions: every way a loaned payload can out-live the call is
+// flagged, and every sanctioned use (copy, synchronous call, defer,
+// scalar reads) passes.
+package handler
+
+import "x/internal/transport"
+
+// envelope is a decode result carrying a view of its input.
+type envelope struct {
+	Seq     uint32
+	Payload []byte
+}
+
+// decode returns a view of p — its result is as borrowed as p is.
+func decode(p []byte) (envelope, bool) {
+	if len(p) < 4 {
+		return envelope{}, false
+	}
+	return envelope{Seq: uint32(p[0]), Payload: p[4:]}, true
+}
+
+type sink struct {
+	last   []byte
+	frames [][]byte
+	out    chan []byte
+	n      int
+	onAck  func()
+}
+
+var lastGlobal []byte
+
+var _ transport.PacketHandler = (&sink{}).HandleAnswer
+
+// HandleAnswer matches transport.PacketHandler, so p is a loan.
+func (s *sink) HandleAnswer(p []byte, from string) {
+	s.last = p                      // want `stores a borrowed datagram payload`
+	lastGlobal = p[4:]              // want `stores a borrowed datagram payload`
+	s.frames = append(s.frames, p)  // want `stores a borrowed datagram payload`
+	s.out <- p                      // want `sending a borrowed datagram payload`
+	go s.consume(p)                 // want `goroutine argument carries a borrowed datagram payload`
+	s.retain(func() { _ = len(p) }) // want `closure captures borrowed datagram payload p`
+	q := p[2:]                      // alias
+	s.last = q                      // want `stores a borrowed datagram payload`
+	if env, ok := decode(p); ok {   // decode result is a view of p
+		s.last = env.Payload // want `stores a borrowed datagram payload`
+	}
+}
+
+// HandleClean shows every sanctioned shape.
+func (s *sink) HandleClean(p []byte, from string) {
+	s.n = len(p)                       // scalar read
+	s.observe(p)                       // synchronous call
+	s.last = append([]byte(nil), p...) // explicit copy: result is owned
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	s.frames = append(s.frames, buf) // copy escapes, not the loan
+	defer func() { s.n += len(p) }() // defers run before the call returns
+	if env, ok := decode(p); ok {
+		s.n = int(env.Seq) // scalar projection of a borrowed view
+	}
+}
+
+// Register proves handler-shaped literals are loans too.
+func Register(hc transport.HandlerPacketConn, s *sink) {
+	hc.SetPacketHandler(func(p []byte, from string) {
+		s.last = p // want `stores a borrowed datagram payload`
+		s.last = append([]byte(nil), p...)
+	})
+}
+
+// Stash does not match the handler signature (extra param): its p is
+// owned by whatever contract its callers chose, not bufown's concern.
+func (s *sink) Stash(p []byte, from string, keep bool) {
+	if keep {
+		s.last = p
+	}
+}
+
+func (s *sink) consume(p []byte) { _ = p }
+func (s *sink) observe(p []byte) { _ = p }
+func (s *sink) retain(fn func()) { s.onAck = fn }

@@ -1,0 +1,56 @@
+// Package readloop is the bufown fixture for the pull-mode reuse
+// pattern: a buffer handed to ReadFrom/Read inside a loop is
+// overwritten by the next datagram, so views of it must not out-live
+// the iteration.
+package readloop
+
+import "x/internal/transport"
+
+type server struct {
+	conn   transport.PacketConn
+	last   []byte
+	frames [][]byte
+	out    chan []byte
+	seen   int
+}
+
+// Loop is the canonical read loop: buf is recycled every iteration.
+func (s *server) Loop(buf []byte) {
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		_ = from
+		p := buf[:n]
+		s.last = p                         // want `stores a borrowed datagram payload`
+		s.frames = append(s.frames, p)     // want `stores a borrowed datagram payload`
+		s.out <- p                         // want `sending a borrowed datagram payload`
+		s.out <- append([]byte(nil), p...) // copy: owned by the receiver
+		s.seen += n
+		s.handle(p) // synchronous: fine
+	}
+}
+
+// ReadLoop covers the stream form of the same pattern.
+func (s *server) ReadLoop(buf []byte) {
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		s.last = buf[:n] // want `stores a borrowed datagram payload`
+	}
+}
+
+// Once reads outside any loop: the buffer is not recycled by this
+// function, so its lifetime is the caller's contract, not bufown's.
+func (s *server) Once(buf []byte) {
+	n, _, err := s.conn.ReadFrom(buf)
+	if err != nil {
+		return
+	}
+	s.last = buf[:n]
+}
+
+func (s *server) handle(p []byte) { _ = p }

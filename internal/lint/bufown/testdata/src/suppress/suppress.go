@@ -1,0 +1,26 @@
+// Package suppress proves //lint:allow semantics for bufown: one
+// directive silences exactly one finding, in both the line-above and
+// same-line forms.
+package suppress
+
+import "x/internal/transport"
+
+type ring struct {
+	slots [][]byte
+	last  []byte
+}
+
+var _ transport.PacketHandler = (&ring{}).Ingest
+
+// Ingest owns a private recycling protocol with its fabric: the allow
+// covers the first retention, and only the first.
+func (r *ring) Ingest(p []byte, from string) {
+	//lint:allow bufown ring owns the fabric pool; slots recycle on ack
+	r.last = p
+	r.slots = append(r.slots, p) // want `stores a borrowed datagram payload`
+}
+
+// Mirror exercises the same-line directive form.
+func (r *ring) Mirror(p []byte, from string) {
+	r.last = p //lint:allow bufown fixture exercises the same-line directive form
+}

@@ -1,0 +1,27 @@
+// Package transport is a stub of finelb/internal/transport for bufown
+// fixtures: the analyzer suffix-matches the import path and resolves
+// PacketHandler and PacketConn from it.
+package transport
+
+import "time"
+
+// PacketHandler mirrors the real datagram callback. The payload is
+// only valid for the duration of the call.
+type PacketHandler func(p []byte, from string)
+
+// PacketConn mirrors the real datagram seam.
+type PacketConn interface {
+	ReadFrom(p []byte) (n int, from string, err error)
+	WriteTo(p []byte, addr string) (int, error)
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	LocalAddr() string
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// HandlerPacketConn mirrors the push-mode seam.
+type HandlerPacketConn interface {
+	PacketConn
+	SetPacketHandler(h PacketHandler) bool
+}

@@ -1,23 +1,30 @@
 // Package lint assembles the finelbvet analyzer suite: the custom
 // static checks that turn this repository's determinism, metric
-// catalog, and shutdown conventions into machine-enforced invariants.
-// cmd/finelbvet is the command-line driver; the analyzers themselves
-// live in the subpackages and are individually testable with
+// catalog, shutdown, allocation, buffer-ownership, and lock-discipline
+// conventions into machine-enforced invariants. cmd/finelbvet is the
+// command-line driver; the analyzers themselves live in the
+// subpackages and are individually testable with
 // internal/lint/analysistest.
 package lint
 
 import (
 	"finelb/internal/lint/analysis"
+	"finelb/internal/lint/bufown"
 	"finelb/internal/lint/closecheck"
 	"finelb/internal/lint/detclock"
+	"finelb/internal/lint/lockcheck"
+	"finelb/internal/lint/noalloc"
 	"finelb/internal/lint/obscatalog"
 )
 
 // Analyzers returns the full finelbvet suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		bufown.Analyzer,
 		closecheck.Analyzer,
 		detclock.Analyzer,
+		lockcheck.Analyzer,
+		noalloc.Analyzer,
 		obscatalog.Analyzer,
 	}
 }

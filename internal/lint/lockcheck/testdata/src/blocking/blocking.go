@@ -1,0 +1,89 @@
+// Package blocking is the lockcheck fixture for the no-blocking-held
+// rules: channel operations, selects without a default, Sleep calls
+// (wall clock or injected seam), and seam WriteTo are all flagged
+// while an annotated mutex is definitely held — and the deliver idiom
+// (select with default) plus encode-then-write-after-unlock pass.
+package blocking
+
+import (
+	"sync"
+	"time"
+
+	"x/internal/transport"
+)
+
+type pump struct {
+	//lint:guards q
+	mu    sync.Mutex
+	q     []int
+	ch    chan int
+	conn  transport.PacketConn
+	sleep func(time.Duration)
+}
+
+func (p *pump) SendHeld(v int) {
+	p.mu.Lock()
+	p.ch <- v // want `channel send while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *pump) RecvHeld() int {
+	p.mu.Lock()
+	v := <-p.ch // want `channel receive while p\.mu is held`
+	p.mu.Unlock()
+	return v
+}
+
+// NonBlockingWake is the deliver wakeup idiom: a select with a
+// default never blocks the lock.
+func (p *pump) NonBlockingWake() {
+	p.mu.Lock()
+	select {
+	case p.ch <- 1:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+func (p *pump) BlockingSelect() {
+	p.mu.Lock()
+	select { // want `select without a default case while p\.mu is held`
+	case v := <-p.ch:
+		p.q = append(p.q, v)
+	}
+	p.mu.Unlock()
+}
+
+func (p *pump) SleepHeld() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `Sleep call while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *pump) SeamSleepHeld(d time.Duration) {
+	p.mu.Lock()
+	p.sleep(d) // want `sleep call while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *pump) WriteHeld(b []byte, addr string) {
+	p.mu.Lock()
+	p.conn.WriteTo(b, addr) // want `WriteTo on the transport seam while p\.mu is held`
+	p.mu.Unlock()
+}
+
+// WriteAfterUnlock is the sanctioned shape: snapshot under the lock,
+// write after dropping it.
+func (p *pump) WriteAfterUnlock(b []byte, addr string) {
+	p.mu.Lock()
+	n := len(p.q)
+	p.mu.Unlock()
+	_ = n
+	_, _ = p.conn.WriteTo(b, addr)
+}
+
+// SendUnheld: channel ops without the lock are not lockcheck's
+// concern.
+func (p *pump) SendUnheld(v int) {
+	p.ch <- v
+}

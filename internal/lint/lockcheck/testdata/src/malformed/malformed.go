@@ -1,0 +1,43 @@
+// Package malformed proves every //lint:guards misuse is itself
+// reported: a directive that binds nothing checks nothing, and
+// silence would be worse than noise.
+package malformed
+
+import "sync"
+
+type bag struct {
+	//lint:guards
+	// want `names no fields`
+	mu sync.Mutex
+	n  int
+}
+
+type notmu struct {
+	//lint:guards n
+	// want `must annotate a single sync\.Mutex or sync\.RWMutex field`
+	state int
+	n     int
+}
+
+type typo struct {
+	//lint:guards count
+	// want `names count, which is not a field of typo`
+	mu sync.Mutex
+	n  int
+}
+
+type selfguard struct {
+	//lint:guards mu, n
+	// want `lists the mutex mu as its own guarded field`
+	mu sync.Mutex
+	n  int
+}
+
+type twomus struct {
+	//lint:guards n
+	mu1 sync.Mutex
+	//lint:guards n
+	// want `field n is already guarded by mu1`
+	mu2 sync.Mutex
+	n   int
+}

@@ -1,0 +1,31 @@
+// Package suppress proves //lint:allow semantics for lockcheck: one
+// directive silences exactly one finding, in both the line-above and
+// same-line forms. The shape is the real pollOnce exception — an
+// owner-only invariant the type system cannot see.
+package suppress
+
+import "sync"
+
+type round struct {
+	//lint:guards gen
+	mu  sync.Mutex
+	gen uint32
+}
+
+// Owner reads gen outside the lock: only the round owner ever writes
+// it, so the read is racy-by-construction safe and documented.
+func (r *round) Owner() uint32 {
+	//lint:allow lockcheck only the round owner writes gen; lock-free read is the invariant
+	return r.gen
+}
+
+// SameLine exercises the trailing-directive form.
+func (r *round) SameLine() uint32 {
+	return r.gen //lint:allow lockcheck fixture exercises the same-line directive form
+}
+
+// StillFlagged is the identical read without a directive: each allow
+// above reaches exactly one finding.
+func (r *round) StillFlagged() uint32 {
+	return r.gen // want `r\.gen is guarded by r\.mu`
+}

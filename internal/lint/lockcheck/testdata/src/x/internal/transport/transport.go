@@ -1,0 +1,20 @@
+// Package transport is a stub of finelb/internal/transport for
+// lockcheck fixtures: the analyzer suffix-matches the import path and
+// resolves PacketConn from it for the WriteTo blocking rule.
+package transport
+
+import "time"
+
+// PacketHandler mirrors the real datagram callback.
+type PacketHandler func(p []byte, from string)
+
+// PacketConn mirrors the real datagram seam.
+type PacketConn interface {
+	ReadFrom(p []byte) (n int, from string, err error)
+	WriteTo(p []byte, addr string) (int, error)
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	LocalAddr() string
+	SetReadDeadline(t time.Time) error
+	Close() error
+}

@@ -1,0 +1,350 @@
+// Package noalloc implements the finelbvet analyzer that turns the
+// repository's zero-steady-state-allocation contracts into a static
+// invariant.
+//
+// The hot paths of DESIGN.md §10 (simulator dispatch) and §12 (poll
+// rounds) were hand-tuned to zero allocations per event/round, but
+// until now that contract was enforced only at runtime by
+// `testing.AllocsPerRun` gates — which are skipped under -race, the
+// very configuration CI leans on. noalloc is the compile-time half of
+// the gate: a function (or file) marked `//lint:noalloc` may not
+// contain the constructs that heap-allocate:
+//
+//   - make and new
+//   - composite literals that escape to the heap: &T{...}, and map or
+//     slice literals (value struct literals stay on the stack and pass)
+//   - append that is not in-place (`x = append(x, ...)` or
+//     `x = append(x[:0], ...)` into pooled backing passes; growth past
+//     capacity remains the runtime gate's job)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - calls into package fmt, and errors.New
+//   - explicit conversions that box a concrete value into an interface
+//   - closures that capture variables (a captured variable and its
+//     closure are heap-allocated)
+//   - go statements (a goroutine allocates its g and stack)
+//
+// Two escape hatches keep the rule honest rather than noisy:
+// constructs inside an argument of the builtin panic are exempt (a
+// crashing path is not steady state), and any finding can be
+// suppressed per-site with `//lint:allow noalloc <reason>` — the
+// documented idiom for pool-miss mint paths, which allocate exactly
+// once per pooled record.
+//
+// The analyzer is intentionally intra-procedural and syntactic: it
+// does not chase calls, so a marked function calling an allocating
+// helper is the helper's problem (mark it too), and closure bodies are
+// not re-checked inside the marked function (the closure runs later,
+// on some other path; flag is on its creation). The runtime
+// AllocsPerRun gates remain the ground truth for what the compiler's
+// escape analysis actually does; noalloc is the reviewable, race-mode-
+// proof statement of intent.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finelb/internal/lint/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid heap-allocating constructs in functions or files marked //lint:noalloc",
+	Run:  run,
+}
+
+// marker is the annotation prefix.
+const marker = "//lint:noalloc"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		fileScoped := fileMarked(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fileScoped || funcMarked(fd) {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// fileMarked reports whether f carries a file-scoped `//lint:noalloc
+// file` directive (conventionally next to the package clause).
+func fileMarked(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, marker)
+			if ok && strings.TrimSpace(rest) == "file" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcMarked reports whether fd's doc comment group carries a
+// `//lint:noalloc` directive (anything after the marker is a free-form
+// reason). The marker must sit in the doc comment — directly above the
+// declaration with no blank line — so the annotation travels with the
+// function.
+func funcMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, marker); ok && strings.TrimSpace(rest) != "file" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one marked function's own statements, flagging
+// heap-allocating constructs. Nested function literals are flagged at
+// creation (when they capture) but their bodies are not descended
+// into.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+			if isPanicCall(pass, n) {
+				return false // a crashing path is not steady state
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&%s{...} allocates; use a pooled record or suppress the mint path with //lint:allow noalloc <reason>", typeLabel(pass, cl))
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			checkConcat(pass, n)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine; hot paths hand work to existing goroutines")
+		case *ast.FuncLit:
+			if capt := firstCapture(pass, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "closure captures %s and allocates; prebuild it at pool time or suppress with //lint:allow noalloc <reason>", capt)
+			}
+			return false // the literal's body runs on some other path
+		case *ast.AssignStmt:
+			checkAppends(pass, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+					pass.Reportf(call.Pos(), "append is not in-place (want x = append(x, ...) over pooled backing); this creates or risks new backing")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags make, new, fmt.*, errors.New, allocation-shaped
+// conversions, and interface boxing.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates; use pooled or pre-sized backing")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates; use a pooled record")
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where Fun is a type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+	// Package-level callees.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting boxes its operands); format off the hot path", fn.Name())
+	case "errors":
+		if fn.Name() == "New" {
+			pass.Reportf(call.Pos(), "errors.New allocates per call; return a fixed sentinel error instead")
+		}
+	}
+}
+
+// checkConversion flags conversions that must copy (string<->slice)
+// or box (concrete value into interface). Constant-folded conversions
+// are free and pass.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	if tv, ok := pass.TypesInfo.Types[call]; ok && tv.Value != nil {
+		return // constant expression, folded at compile time
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	argT, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := argT.Type.Underlying()
+	to := target.Underlying()
+	if b, ok := to.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if fb, fromBasic := from.(*types.Basic); !fromBasic || fb.Info()&types.IsString == 0 {
+			pass.Reportf(call.Pos(), "conversion to string allocates and copies")
+		}
+		return
+	}
+	if _, toSlice := to.(*types.Slice); toSlice {
+		if b, ok := from.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			pass.Reportf(call.Pos(), "[]byte/[]rune conversion of a string allocates and copies")
+		}
+		return
+	}
+	if _, toIface := to.(*types.Interface); toIface {
+		if _, fromIface := from.(*types.Interface); !fromIface {
+			if _, fromPtr := from.(*types.Pointer); !fromPtr {
+				pass.Reportf(call.Pos(), "conversion boxes a value into an interface and allocates")
+			}
+		}
+	}
+}
+
+// checkConcat flags string concatenation.
+func checkConcat(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[b]
+	if !ok || tv.Value != nil { // constant concatenation is folded
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+		pass.Reportf(b.Pos(), "string concatenation allocates; append into a pooled []byte instead")
+	}
+}
+
+// checkAppends enforces the in-place append shape: the result must be
+// assigned back over the appended slice (`x = append(x, ...)`,
+// `x = append(x[:0], ...)`). Anything else — a fresh variable, a bare
+// expression, appending one slice onto another — creates (or risks)
+// new backing.
+func checkAppends(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		if i < len(as.Lhs) && exprKey(as.Lhs[i]) != "" &&
+			exprKey(as.Lhs[i]) == exprKey(sliceBase(call.Args[0])) {
+			continue // in-place: growth is the runtime gate's concern
+		}
+		pass.Reportf(call.Pos(), "append is not in-place (want x = append(x, ...) over pooled backing); this creates or risks new backing")
+	}
+}
+
+// sliceBase strips slicing from an append destination: base(buf[:0])
+// is buf.
+func sliceBase(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if s, ok := e.(*ast.SliceExpr); ok {
+		return ast.Unparen(s.X)
+	}
+	return e
+}
+
+// exprKey renders simple lvalue shapes for identity comparison; ""
+// means unrenderable (never equal).
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprKey(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.StarExpr:
+		if x := exprKey(e.X); x != "" {
+			return "*" + x
+		}
+	}
+	return ""
+}
+
+// firstCapture returns the name of one variable the literal captures
+// from the enclosing function ("" when it captures nothing — a static
+// closure that does not allocate).
+func firstCapture(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	capture := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capture != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal.
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			capture = v.Name()
+		}
+		return true
+	})
+	return capture
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isPanicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return isBuiltin(pass, call.Fun, "panic")
+}
+
+// typeLabel names a composite literal's type for the message.
+func typeLabel(pass *analysis.Pass, cl *ast.CompositeLit) string {
+	if cl.Type == nil {
+		return "T"
+	}
+	if k := exprKey(cl.Type); k != "" {
+		return k
+	}
+	return "T"
+}

@@ -1,0 +1,34 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"finelb/internal/lint/analysistest"
+	"finelb/internal/lint/noalloc"
+)
+
+// TestMarkedFunctions covers the per-function marker: every forbidden
+// construct is flagged, the legal shapes (in-place append, value
+// literals, panic paths, static closures) pass, and unmarked functions
+// are never checked.
+func TestMarkedFunctions(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "marked")
+}
+
+// TestFileScope covers the `//lint:noalloc file` marker.
+func TestFileScope(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "filescope")
+}
+
+// TestSuppression proves the //lint:allow contract for noalloc — the
+// pool-miss mint idiom — in both the line-above and same-line forms.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "suppress")
+}
+
+// TestMarkersInTestFilesInert proves a marked violation in a _test.go
+// file produces nothing: the loader, like the real driver, analyzes
+// production sources only.
+func TestMarkersInTestFilesInert(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "testskip")
+}

@@ -1,0 +1,24 @@
+// Package filescope proves the file-scoped marker: every function in
+// a `//lint:noalloc file` file is checked without per-function
+// markers.
+//
+//lint:noalloc file
+package filescope
+
+type scratch struct{ buf []byte }
+
+func Reset(s *scratch) {
+	s.buf = s.buf[:0]
+}
+
+func Fill(s *scratch, b []byte) {
+	s.buf = append(s.buf, b...)
+}
+
+func Mint() *scratch {
+	return &scratch{} // want `&scratch\{...\} allocates`
+}
+
+func Stamp(s *scratch) {
+	s.buf = make([]byte, 64) // want `make allocates`
+}

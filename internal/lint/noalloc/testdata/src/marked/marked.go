@@ -1,0 +1,89 @@
+// Package marked exercises every construct the noalloc analyzer
+// forbids inside a `//lint:noalloc` function, plus the shapes that
+// must pass: in-place appends, value struct literals, calls, and
+// panic-path formatting.
+package marked
+
+import (
+	"errors"
+	"fmt"
+)
+
+type record struct {
+	buf  []byte
+	next *record
+}
+
+type pool struct {
+	free []*record
+	seen map[string]int
+}
+
+// Hot is the flagged kitchen sink.
+//
+//lint:noalloc
+func (p *pool) Hot(s string, b []byte) {
+	_ = make([]byte, 8)        // want `make allocates`
+	_ = new(record)            // want `new allocates`
+	_ = &record{}              // want `&record\{...\} allocates`
+	_ = []int{1, 2}            // want `slice literal allocates`
+	_ = map[string]int{}       // want `map literal allocates`
+	_ = s + "suffix"           // want `string concatenation allocates`
+	_ = string(b)              // want `conversion to string allocates`
+	_ = []byte(s)              // want `\[\]byte/\[\]rune conversion of a string allocates`
+	fmt.Println(s)             // want `fmt.Println allocates`
+	_ = errors.New("per call") // want `errors.New allocates per call`
+	go p.drain()               // want `go statement allocates a goroutine`
+	f := func() { _ = s }      // want `closure captures s and allocates`
+	f()
+}
+
+// Grow shows the append discipline: in-place shapes pass, fresh
+// backing is flagged.
+//
+//lint:noalloc steady-state recycle path
+func (p *pool) Grow(r *record, extra []byte) []byte {
+	r.buf = append(r.buf, extra...)        // in-place: ok
+	r.buf = append(r.buf[:0], extra...)    // reset-in-place: ok
+	p.free = append(p.free, r)             // in-place into pooled backing: ok
+	clone := append([]byte(nil), extra...) // want `append is not in-place`
+	_ = clone
+	other := append(extra, 0) // want `append is not in-place`
+	_ = other
+	return r.buf
+}
+
+// Boxed shows interface boxing conversions.
+//
+//lint:noalloc
+func Boxed(v record, pv *record) {
+	_ = any(v)  // want `conversion boxes a value into an interface`
+	_ = any(pv) // pointers are already one word: ok
+}
+
+// PanicPath shows the crashing-path exemption: formatting inside a
+// panic argument is not steady state.
+//
+//lint:noalloc
+func PanicPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n * 2
+}
+
+// Static closures do not capture and do not allocate.
+//
+//lint:noalloc
+func StaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+// Unmarked is the control: the same constructs pass without a marker.
+func Unmarked(s string) *record {
+	_ = make([]byte, 8)
+	_ = s + "suffix"
+	return &record{}
+}
+
+func (p *pool) drain() {}

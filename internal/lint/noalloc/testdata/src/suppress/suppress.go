@@ -1,0 +1,38 @@
+// Package suppress proves //lint:allow semantics for noalloc: the
+// documented idiom for pool-miss mint paths. One directive silences
+// exactly one finding, in both the same-line and line-above forms.
+package suppress
+
+type event struct{ fn func() }
+
+type engine struct{ free []*event }
+
+// Alloc is the canonical pool shape: the steady-state pop is clean and
+// the one-time mint path carries a reasoned allow.
+//
+//lint:noalloc
+func (e *engine) Alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	//lint:allow noalloc pool miss mints one record, amortized to zero
+	return &event{}
+}
+
+// SameLine shows the trailing-directive form.
+//
+//lint:noalloc
+func SameLine() []byte {
+	return make([]byte, 8) //lint:allow noalloc fixture exercises the same-line directive form
+}
+
+// StillFlagged is the identical violation without a directive: the
+// allows above reach exactly one finding each.
+//
+//lint:noalloc
+func StillFlagged() *event {
+	return &event{} // want `&event\{...\} allocates`
+}

@@ -1,0 +1,10 @@
+// Package testskip holds its only violation in a _test.go file, which
+// the loader (like the real finelbvet driver) never parses: markers in
+// test files are inert, because the invariants cover production code
+// paths only.
+package testskip
+
+// Reset is steady-state clean.
+//
+//lint:noalloc
+func Reset(b []byte) []byte { return b[:0] }

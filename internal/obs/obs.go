@@ -46,6 +46,8 @@ type Counter struct {
 // Add increases the counter by delta (negative deltas are ignored —
 // counters only go up). On overflow the counter saturates at
 // math.MaxInt64.
+//
+//lint:noalloc
 func (c *Counter) Add(delta int64) {
 	if delta <= 0 {
 		return
@@ -63,6 +65,8 @@ func (c *Counter) Add(delta int64) {
 }
 
 // Inc adds one.
+//
+//lint:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
@@ -81,17 +85,23 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//lint:noalloc
 func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 	g.raiseHigh(v)
 }
 
 // Add moves the gauge by delta (either sign).
+//
+//lint:noalloc
 func (g *Gauge) Add(delta int64) {
 	v := g.v.Add(delta)
 	g.raiseHigh(v)
 }
 
+//
+//lint:noalloc
 func (g *Gauge) raiseHigh(v int64) {
 	for {
 		h := g.high.Load()
@@ -148,6 +158,8 @@ func newHistogram(bounds []float64) (*Histogram, error) {
 }
 
 // Observe records one value.
+//
+//lint:noalloc
 func (h *Histogram) Observe(x float64) {
 	// Binary search for the first bound >= x; small bound sets make this
 	// a handful of comparisons, no allocation.
@@ -232,6 +244,7 @@ func Timing() Opt { return func(m *metric) { m.timing = true } }
 // as two different kinds panics — that is a programming error, not a
 // runtime condition.
 type Registry struct {
+	//lint:guards by
 	mu sync.Mutex
 	by map[string]*metric
 }
@@ -241,7 +254,8 @@ func NewRegistry() *Registry {
 	return &Registry{by: make(map[string]*metric)}
 }
 
-func (r *Registry) lookup(name string, kind Kind) (*metric, bool) {
+// lookupLocked resolves an existing metric; caller holds r.mu.
+func (r *Registry) lookupLocked(name string, kind Kind) (*metric, bool) {
 	m, ok := r.by[name]
 	if !ok {
 		return nil, false
@@ -256,7 +270,7 @@ func (r *Registry) lookup(name string, kind Kind) (*metric, bool) {
 func (r *Registry) Counter(name string, opts ...Opt) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.lookup(name, KindCounter); ok {
+	if m, ok := r.lookupLocked(name, KindCounter); ok {
 		return m.c
 	}
 	m := &metric{name: name, kind: KindCounter, c: &Counter{}}
@@ -271,7 +285,7 @@ func (r *Registry) Counter(name string, opts ...Opt) *Counter {
 func (r *Registry) Gauge(name string, opts ...Opt) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.lookup(name, KindGauge); ok {
+	if m, ok := r.lookupLocked(name, KindGauge); ok {
 		return m.g
 	}
 	m := &metric{name: name, kind: KindGauge, g: &Gauge{}}
@@ -288,7 +302,7 @@ func (r *Registry) Gauge(name string, opts ...Opt) *Gauge {
 func (r *Registry) Histogram(name string, bounds []float64, opts ...Opt) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.lookup(name, KindHistogram); ok {
+	if m, ok := r.lookupLocked(name, KindHistogram); ok {
 		if len(m.h.bounds) != len(bounds) {
 			panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, has %d",
 				name, len(bounds), len(m.h.bounds)))

@@ -343,6 +343,8 @@ type serverState struct {
 // push appends a to the service queue, compacting the consumed prefix
 // only when the backing array is full — amortized O(1), allocation-free
 // once the queue has reached its high-water capacity.
+//
+//lint:noalloc
 func (s *serverState) push(a *access) {
 	if s.qhead > 0 && len(s.queue) == cap(s.queue) {
 		n := copy(s.queue, s.queue[s.qhead:])
@@ -356,6 +358,8 @@ func (s *serverState) push(a *access) {
 }
 
 // pop removes and returns the head of the service queue, or nil.
+//
+//lint:noalloc
 func (s *serverState) pop() *access {
 	if s.qhead == len(s.queue) {
 		return nil
@@ -455,12 +459,16 @@ func (r *runner) newAccess() *access {
 }
 
 // recycle retires a finished access record to the free-list.
+//
+//lint:noalloc
 func (r *runner) recycle(a *access) {
 	r.freeAcc = append(r.freeAcc, a)
 }
 
 // emit records one trace event; actors is clientActor or serverActor
 // (indexed lazily so the nil-trace path never touches them).
+//
+//lint:noalloc
 func (r *runner) emit(name string, actors []string, idx int, a, b int64) {
 	if r.tr != nil {
 		r.tr.Emit(r.eng.Now().Seconds(), name, actors[idx], a, b)
@@ -469,6 +477,8 @@ func (r *runner) emit(name string, actors []string, idx int, a, b int64) {
 
 // record samples server id's load index into its time-weighted average
 // (and optional series) at the current simulated time.
+//
+//lint:noalloc
 func (r *runner) record(id int) {
 	s := &r.srv[id]
 	now := r.eng.Now().Seconds()
@@ -480,6 +490,8 @@ func (r *runner) record(id int) {
 
 // scheduleArrival draws the next access from the workload stream and
 // schedules its arrival event in the reserved sequence band.
+//
+//lint:noalloc
 func (r *runner) scheduleArrival() {
 	i := r.nextIdx
 	r.nextIdx++
@@ -496,6 +508,8 @@ func (r *runner) scheduleArrival() {
 // arrival is one access's arrival event: chain the next arrival (the
 // workload stream is monotone in arrival time), then run the policy
 // decision for this one.
+//
+//lint:noalloc
 func (r *runner) arrival(a *access) {
 	if r.nextIdx < r.cfg.Accesses {
 		r.scheduleArrival()
@@ -507,6 +521,8 @@ func (r *runner) arrival(a *access) {
 // dispatch sends the access to a.srv; the response lands back at the
 // client via onDone (or onFail when the round trip breaks under
 // faults).
+//
+//lint:noalloc
 func (r *runner) dispatch(a *access) {
 	r.res.Messages.Dispatches++
 	r.rm.Dispatches.Inc()
@@ -522,6 +538,8 @@ func (r *runner) dispatch(a *access) {
 
 // settle reverses dispatch's load-index commitments when the round trip
 // concludes (completion or failure).
+//
+//lint:noalloc
 func (r *runner) settle(a *access) {
 	if r.commit != nil {
 		r.commit.Add(a.srv, -1)
@@ -535,6 +553,8 @@ func (r *runner) settle(a *access) {
 // a crashed server fails immediately (the connection is refused), one
 // arriving at a paused server queues behind the stalled processing
 // unit.
+//
+//lint:noalloc
 func (r *runner) serverArrive(a *access) {
 	s := &r.srv[a.srv]
 	if s.down {
@@ -554,6 +574,8 @@ func (r *runner) serverArrive(a *access) {
 }
 
 // startService begins a's service on its (idle) server.
+//
+//lint:noalloc
 func (r *runner) startService(a *access) {
 	s := &r.srv[a.srv]
 	s.busy = true
@@ -567,6 +589,8 @@ func (r *runner) startService(a *access) {
 
 // serviceDone completes a's service: the next queued access starts, and
 // the response travels back to the client.
+//
+//lint:noalloc
 func (r *runner) serviceDone(a *access) {
 	s := &r.srv[a.srv]
 	s.hasCur = false
@@ -587,6 +611,8 @@ func (r *runner) serviceDone(a *access) {
 }
 
 // accessDone lands the response at the client and closes the access.
+//
+//lint:noalloc
 func (r *runner) accessDone(a *access) {
 	r.settle(a)
 	r.completed++
@@ -628,6 +654,8 @@ func (r *runner) accessFailed(a *access) {
 }
 
 // finish stops the engine once every access is accounted for.
+//
+//lint:noalloc
 func (r *runner) finish() {
 	if r.completed+r.lost == r.cfg.Accesses {
 		r.eng.Stop()
@@ -750,6 +778,8 @@ func (r *runner) newPollCtx(d int) *pollCtx {
 // within its round trip, so the decision closes when the last answer is
 // due (capped uniformly by DefaultPollTimeout and the policy's discard
 // threshold).
+//
+//lint:noalloc
 func (r *runner) healthyPoll(a *access) {
 	cfg := &r.cfg
 	var set []int
@@ -820,6 +850,8 @@ func (r *runner) healthyPoll(a *access) {
 // healthyObserve is poll slot i's observation event: the inquiry
 // reaches the server and reads its load index; the answer lands back
 // at the client at respAt[i] (within the deadline by construction).
+//
+//lint:noalloc
 func (r *runner) healthyObserve(c *pollCtx, i int) {
 	srv := c.polled[i]
 	c.responses = append(c.responses, core.PollResponse{
@@ -832,6 +864,8 @@ func (r *runner) healthyObserve(c *pollCtx, i int) {
 }
 
 // healthyDecide closes the round at the deadline and dispatches.
+//
+//lint:noalloc
 func (r *runner) healthyDecide(c *pollCtx) {
 	a := c.a
 	a.srv = core.PickFromPolls(r.policyRNG, c.responses, c.polled)
@@ -973,6 +1007,8 @@ func (r *runner) pollRound(a *access, round int, cands []int) {
 // handle runs the policy decision for one access. The healthy branch
 // is the paper's model, draw for draw; the faulted branch filters
 // quarantined servers first.
+//
+//lint:noalloc
 func (r *runner) handle(a *access) {
 	cfg := &r.cfg
 	if r.ms != nil {
@@ -1059,6 +1095,7 @@ func (r *runner) handle(a *access) {
 		// tie-breaking like core.PickLeast. Fault scenarios run at
 		// test scale; the 10k-server hot path is the healthy branch.
 		li := r.local[a.client]
+		//lint:allow noalloc fault scenarios run at test scale; the 10k-server hot path is the healthy branch above
 		loads := make([]int, len(pickFrom))
 		for i, srv := range pickFrom {
 			loads[i] = li.Load(srv)
