@@ -1,0 +1,20 @@
+package scratchlint
+
+import "sync"
+
+type S struct {
+	//lint:guards n
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Bad(cond bool) {
+	s.mu.Lock()
+	if cond {
+		defer s.mu.Unlock()
+		s.n++
+		return
+	}
+	s.n = 2
+	// lock leaked here: no unlock on this path
+}
